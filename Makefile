@@ -1,0 +1,28 @@
+# Convenience targets for the reproduction.
+
+.PHONY: install test bench examples reproduce clean
+
+install:
+	pip install -e . --no-build-isolation || python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+examples:
+	python examples/quickstart.py
+	python examples/explore_dynamics.py
+	python examples/cloud_scheduling.py
+	python examples/datacenter_cluster.py
+	python examples/adversarial_analysis.py
+	python examples/reproduce_paper.py
+
+reproduce:
+	pytest tests/ 2>&1 | tee test_output.txt
+	pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+
+clean:
+	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache .hypothesis
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,93 @@
+"""E14 — alpha sensitivity: how every guarantee moves with the power exponent.
+
+A single chart/table consolidating the paper's alpha-dependencies:
+
+* Algorithm NC's measured fractional ratio vs Theorem 5's ``2 + 1/(alpha-1)``
+  (both fall towards 2 as alpha grows);
+* the measured flow blow-up ``1/(1-1/alpha)`` (falls towards 1);
+* the derived NC-general threshold ``eta_min(alpha)`` (falls towards 1 —
+  higher alpha makes the shadow easier to outrun);
+* the §6 lower-bound exponent ``1 - 1/alpha`` (rises towards 1 — more
+  machines hurt more at higher alpha).
+"""
+
+from __future__ import annotations
+
+from repro import PowerLaw
+from repro.algorithms import eta_threshold, simulate_clairvoyant, simulate_nc_uniform
+from repro.analysis import format_ascii_chart, format_table
+from repro.analysis.sweeps import alpha_grid, sweep
+from repro.core import evaluate
+from repro.offline import opt_fractional_lower_bound
+from repro.workloads import random_instance
+
+from conftest import emit
+
+
+def _run():
+    alphas = alpha_grid(1.5, 6.0, 7)
+
+    def nc_ratio_samples(alpha: float):
+        power = PowerLaw(alpha)
+        out = []
+        for seed in (1, 2):
+            inst = random_instance(14, 900 + seed, volume="bimodal")
+            rep = evaluate(simulate_nc_uniform(inst, power).schedule, inst, power)
+            lb = opt_fractional_lower_bound(inst, power, slots=200, iterations=700)
+            out.append(rep.fractional_objective / lb.value)
+        return out
+
+    ratio_points = sweep(alphas, nc_ratio_samples)
+
+    rows = []
+    for pt in ratio_points:
+        a = pt.value
+        rows.append(
+            [
+                a,
+                pt.worst,
+                2 + 1 / (a - 1),
+                1 / (1 - 1 / a),
+                eta_threshold(a),
+                1 - 1 / a,
+            ]
+        )
+    return alphas, rows
+
+
+def test_alpha_sensitivity(benchmark):
+    alphas, rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    table = format_table(
+        [
+            "alpha",
+            "NC worst ratio",
+            "Thm5 bound",
+            "flow blow-up",
+            "eta_min",
+            "LB exponent",
+        ],
+        rows,
+        title="alpha sensitivity of every guarantee",
+        floatfmt=".4f",
+    )
+    chart = format_ascii_chart(
+        [
+            ("measured NC ratio", [r[0] for r in rows], [r[1] for r in rows]),
+            ("Theorem 5 bound", [r[0] for r in rows], [r[2] for r in rows]),
+        ],
+        title="NC ratio vs alpha (measured under bound everywhere)",
+        height=12,
+    )
+    emit("alpha_sensitivity", table + "\n\n" + chart)
+
+    for a, measured, bound, blowup, eta_min, exponent in rows:
+        assert measured <= bound + 1e-6
+        assert eta_min > 1.0
+        assert 0.0 < exponent < 1.0
+    # Monotonicities the theory predicts.
+    bounds = [r[2] for r in rows]
+    etas = [r[4] for r in rows]
+    exps = [r[5] for r in rows]
+    assert all(b >= c for b, c in zip(bounds, bounds[1:]))
+    assert all(b >= c for b, c in zip(etas, etas[1:]))
+    assert all(b <= c for b, c in zip(exps, exps[1:]))

@@ -1,0 +1,67 @@
+"""E15 (extension) — the deadline model of ref [3] (Yao–Demers–Shenker).
+
+Runs YDS (offline optimal) and AVR (online) on random deadline workloads and
+reports: YDS energy vs the certified convex lower bound (they coincide up to
+discretisation — numerical proof of optimality), and AVR's measured energy
+ratio vs its proved cap ``2^{alpha-1} * alpha^alpha``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import Instance, Job, PowerLaw
+from repro.analysis import format_table
+from repro.extensions import (
+    DeadlineInstance,
+    avr_schedule,
+    deadline_energy_lower_bound,
+    validate_deadlines,
+    yds_schedule,
+)
+
+from conftest import emit
+
+ALPHA = 3.0
+
+
+def _random_deadline_instance(n: int, seed: int) -> DeadlineInstance:
+    rng = np.random.default_rng(seed)
+    releases = np.cumsum(rng.exponential(1.0, size=n))
+    spans = rng.uniform(0.5, 6.0, size=n)
+    volumes = rng.uniform(0.2, 3.0, size=n)
+    jobs = [Job(i, float(releases[i]), float(volumes[i])) for i in range(n)]
+    return DeadlineInstance(
+        Instance(jobs), {i: float(releases[i] + spans[i]) for i in range(n)}
+    )
+
+
+def _run():
+    power = PowerLaw(ALPHA)
+    rows = []
+    for seed in (1, 2, 3, 4):
+        di = _random_deadline_instance(8, 1000 + seed)
+        y = yds_schedule(di)
+        a = avr_schedule(di)
+        validate_deadlines(y, di)
+        validate_deadlines(a, di)
+        e_y = sum(s.energy(power) for s in y)
+        e_a = sum(s.energy(power) for s in a)
+        lb = deadline_energy_lower_bound(di, power, slots=400, iterations=1500)
+        rows.append([seed, e_y, lb, e_y / lb, e_a / e_y])
+    return rows
+
+
+def test_deadline_substrate(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    table = format_table(
+        ["seed", "YDS energy", "certified LB", "YDS/LB", "AVR/YDS"],
+        rows,
+        title=f"Deadline model [3] (alpha = {ALPHA}): YDS optimality and AVR's online price",
+        floatfmt=".4f",
+    )
+    emit("deadlines", table)
+    cap = 2.0 ** (ALPHA - 1) * ALPHA**ALPHA
+    for seed, e_y, lb, opt_ratio, online_ratio in rows:
+        assert 1.0 - 1e-9 <= opt_ratio <= 1.10  # optimal up to discretisation
+        assert 1.0 - 1e-9 <= online_ratio <= cap

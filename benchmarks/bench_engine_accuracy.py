@@ -1,0 +1,58 @@
+"""E10 — engine validation: the numeric integrator against the closed forms.
+
+Drives Algorithm C through the generic numeric engine at decreasing step
+sizes and reports the objective's relative error against the exact analytic
+simulation — the convergence that justifies trusting the engine for
+Algorithm NC-general, which has no closed form.  This bench also *times* the
+engine (the one harness component where wall-clock matters).
+"""
+
+from __future__ import annotations
+
+from repro import Instance, Job, PowerLaw
+from repro.algorithms import ClairvoyantPolicy, simulate_clairvoyant
+from repro.analysis import format_table
+from repro.core import NumericEngine, evaluate
+
+from conftest import emit
+
+ALPHA = 3.0
+
+
+def _instance() -> Instance:
+    return Instance(
+        [Job(0, 0.0, 4.0), Job(1, 1.0, 2.0), Job(2, 1.5, 1.0), Job(3, 2.5, 3.0)]
+    )
+
+
+def _engine_run(max_step: float) -> float:
+    power = PowerLaw(ALPHA)
+    inst = _instance()
+    result = NumericEngine(power, max_step=max_step).run(inst, ClairvoyantPolicy(inst, power))
+    return evaluate(result.schedule, inst, power).fractional_objective
+
+
+def test_engine_accuracy(benchmark):
+    power = PowerLaw(ALPHA)
+    inst = _instance()
+    exact = evaluate(simulate_clairvoyant(inst, power).schedule, inst, power).fractional_objective
+
+    rows = []
+    for h in (5e-2, 1e-2, 2e-3, 4e-4):
+        approx = _engine_run(h)
+        rows.append([h, approx, exact, abs(approx - exact) / exact])
+
+    # Time the engine at the default step (this is the pytest-benchmark part).
+    benchmark(_engine_run, 1e-2)
+
+    table = format_table(
+        ["max_step", "engine objective", "exact objective", "rel error"],
+        rows,
+        title="Numeric engine vs analytic closed forms (Algorithm C, 4 jobs)",
+        floatfmt=".3e",
+    )
+    emit("engine_accuracy", table)
+
+    errs = [r[3] for r in rows]
+    assert all(a >= b for a, b in zip(errs, errs[1:])), "error must shrink with the step"
+    assert errs[-1] < 1e-5

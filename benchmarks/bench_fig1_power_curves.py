@@ -1,0 +1,62 @@
+"""E2 — Figure 1: the single-job power curves.
+
+(a) Algorithm C: power starts at P = W and decays; flow-time == energy.
+(b) Algorithm NC: power starts at 0 and grows along the *reversed* curve;
+    flow-time / energy = 1/(1 - 1/alpha) ... concretely the area above the
+    curve over the area under it equals 1/beta (§1.2's 'crucial observation',
+    independent of the job's weight).
+"""
+
+from __future__ import annotations
+
+from repro import Instance, Job, PowerLaw
+from repro.algorithms import simulate_clairvoyant, simulate_nc_uniform
+from repro.analysis import format_ascii_chart, format_table, power_curve
+from repro.core import evaluate
+
+from conftest import emit
+
+ALPHA = 3.0
+WEIGHT = 4.0
+
+
+def _run():
+    power = PowerLaw(ALPHA)
+    inst = Instance([Job(0, 0.0, WEIGHT, 1.0)])
+    c = simulate_clairvoyant(inst, power)
+    nc = simulate_nc_uniform(inst, power)
+    curve_c = power_curve(c.schedule, power, samples=72, label="C (clairvoyant)")
+    curve_nc = power_curve(nc.schedule, power, samples=72, label="NC (non-clairvoyant)")
+    rep_c = evaluate(c.schedule, inst, power)
+    rep_nc = evaluate(nc.schedule, inst, power)
+    return inst, curve_c, curve_nc, rep_c, rep_nc
+
+
+def test_fig1_power_curves(benchmark):
+    inst, curve_c, curve_nc, rep_c, rep_nc = benchmark.pedantic(_run, rounds=1, iterations=1)
+    chart = format_ascii_chart(
+        [
+            (curve_c.label, curve_c.times, curve_c.values),
+            (curve_nc.label, curve_nc.times, curve_nc.values),
+        ],
+        title=f"Figure 1 — single job (W = {WEIGHT}), power vs time, alpha = {ALPHA}",
+    )
+    table = format_table(
+        ["algorithm", "energy", "frac flow", "flow/energy", "paper"],
+        [
+            ["C", rep_c.energy, rep_c.fractional_flow, rep_c.fractional_flow / rep_c.energy, 1.0],
+            [
+                "NC",
+                rep_nc.energy,
+                rep_nc.fractional_flow,
+                rep_nc.fractional_flow / rep_nc.energy,
+                1.0 / (1.0 - 1.0 / ALPHA),
+            ],
+        ],
+        floatfmt=".6f",
+    )
+    emit("fig1_power_curves", chart + "\n\n" + table)
+
+    assert abs(rep_c.fractional_flow / rep_c.energy - 1.0) < 1e-9
+    assert abs(rep_nc.fractional_flow / rep_nc.energy - 1.0 / (1 - 1 / ALPHA)) < 1e-9
+    assert abs(rep_nc.energy - rep_c.energy) < 1e-9 * rep_c.energy

@@ -1,0 +1,70 @@
+"""E7 — §6: identical parallel machines without immediate dispatch.
+
+Per machine count k: verifies Lemma 20 (NC-PAR's assignment == C-PAR's greedy
+immediate dispatch), Lemma 21 (equal energy), Lemma 22 (flow ratio exactly
+1/(1-1/alpha)), and measures NC-PAR's ratio against the pooled-machine OPT
+lower bound — it stays O(alpha + 1/(alpha-1)) as Theorem 17 promises.
+"""
+
+from __future__ import annotations
+
+from repro import PowerLaw
+from repro.analysis import format_table
+from repro.offline import opt_fractional_lower_bound
+from repro.parallel import simulate_c_par, simulate_nc_par
+from repro.workloads import random_instance
+
+from conftest import emit
+
+ALPHA = 3.0
+KS = (1, 2, 4, 8)
+
+
+def _run():
+    power = PowerLaw(ALPHA)
+    inst = random_instance(32, seed=11, rate=2.0, volume="bimodal")
+    rows = []
+    for k in KS:
+        c = simulate_c_par(inst, power, k)
+        n = simulate_nc_par(inst, power, k)
+        rc, rn = c.report(), n.report()
+        lb = opt_fractional_lower_bound(inst, power, machines=k, slots=250, iterations=1000)
+        rows.append(
+            [
+                k,
+                c.assignments == n.assignments,
+                rn.energy / rc.energy,
+                rn.fractional_flow / rc.fractional_flow,
+                1 / (1 - 1 / ALPHA),
+                rn.fractional_objective / lb.value,
+                rn.integral_flow / rn.fractional_flow,
+            ]
+        )
+    return rows
+
+
+def test_parallel_machines(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    table = format_table(
+        [
+            "k",
+            "Lemma 20 (same assignment)",
+            "E ratio",
+            "F ratio",
+            "theory F ratio",
+            "NC-PAR vs OPT_lb",
+            "F_int/F_frac",
+        ],
+        rows,
+        title=f"§6 parallel machines, 32 bimodal jobs, alpha = {ALPHA}",
+        floatfmt=".4f",
+    )
+    emit("parallel_machines", table)
+    for k, same, e_ratio, f_ratio, f_theory, ratio, int_frac in rows:
+        assert same
+        assert abs(e_ratio - 1.0) < 1e-7
+        assert abs(f_ratio - f_theory) < 1e-6 * f_theory
+        # Theorem 17: O(alpha + 1/(alpha-1)); generous constant of 4x.
+        assert ratio <= 4 * (ALPHA + 1 / (ALPHA - 1))
+        # Theorem 17's integral extension: Lemma 8 per machine.
+        assert int_frac <= (2 - 1 / ALPHA) + 1e-9

@@ -1,0 +1,84 @@
+"""E5 — §3 guarantees across alpha: Lemmas 3/4 as measured identities and
+Theorems 5/9 as measured ratios.
+
+For each alpha, runs Algorithm NC and Algorithm C over a stress instance and
+reports: the measured energy ratio (theory: exactly 1), the measured flow
+ratio (theory: exactly 1/(1-1/alpha)), and the measured competitive ratios
+against certified OPT lower bounds next to the 2 + 1/(alpha-1) and
+3 + 1/(alpha-1) bounds.
+"""
+
+from __future__ import annotations
+
+from repro import Instance, Job, PowerLaw
+from repro.algorithms import simulate_clairvoyant, simulate_nc_uniform
+from repro.analysis import format_table
+from repro.core import evaluate
+from repro.offline import opt_fractional_lower_bound, opt_integral_lower_bound
+
+from conftest import emit
+
+ALPHAS = (1.5, 2.0, 2.5, 3.0, 4.0, 6.0)
+
+
+def _instance() -> Instance:
+    return Instance(
+        [
+            Job(0, 0.0, 5.0),
+            Job(1, 0.4, 0.2),
+            Job(2, 0.8, 2.0),
+            Job(3, 1.0, 0.7),
+            Job(4, 3.5, 1.4),
+            Job(5, 3.6, 0.3),
+        ]
+    )
+
+
+def _run():
+    inst = _instance()
+    rows = []
+    for alpha in ALPHAS:
+        power = PowerLaw(alpha)
+        rep_nc = evaluate(simulate_nc_uniform(inst, power).schedule, inst, power)
+        rep_c = evaluate(simulate_clairvoyant(inst, power).schedule, inst, power)
+        lb_f = opt_fractional_lower_bound(inst, power, slots=250, iterations=1000)
+        lb_i = opt_integral_lower_bound(inst, power, slots=250, iterations=1000)
+        rows.append(
+            [
+                alpha,
+                rep_nc.energy / rep_c.energy,
+                rep_nc.fractional_flow / rep_c.fractional_flow,
+                1 / (1 - 1 / alpha),
+                rep_nc.fractional_objective / lb_f.value,
+                2 + 1 / (alpha - 1),
+                rep_nc.integral_objective / lb_i.value,
+                3 + 1 / (alpha - 1),
+            ]
+        )
+    return rows
+
+
+def test_uniform_guarantees(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    table = format_table(
+        [
+            "alpha",
+            "E_NC/E_C",
+            "F_NC/F_C",
+            "1/(1-1/a)",
+            "frac ratio",
+            "Thm5 bound",
+            "int ratio",
+            "Thm9 bound",
+        ],
+        rows,
+        title="§3 guarantees vs alpha (measured | theory)",
+        floatfmt=".4f",
+    )
+    emit("uniform_guarantees", table)
+    for row in rows:
+        alpha, e_ratio, f_ratio, f_theory, frac, thm5, integ, thm9 = row
+        assert abs(e_ratio - 1.0) < 1e-7
+        assert abs(f_ratio - f_theory) < 1e-6 * f_theory
+        assert frac <= thm5 + 1e-6
+        assert integ <= thm9 + 1e-6

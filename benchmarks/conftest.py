@@ -1,0 +1,33 @@
+"""Shared helpers for the benchmark harness.
+
+Each bench regenerates one of the paper's artifacts (table, figure or
+section-level claim) and *prints* the rows/series.  pytest captures stdout,
+so :func:`emit` writes through to the real terminal (visible in
+``pytest benchmarks/ --benchmark-only | tee bench_output.txt``) and archives
+a copy under ``benchmarks/out/``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+import pytest
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+def emit(name: str, text: str) -> None:
+    """Print a bench artifact to the real stdout and archive it."""
+    banner = f"\n===== {name} =====\n"
+    sys.__stdout__.write(banner + text + "\n")
+    sys.__stdout__.flush()
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+@pytest.fixture
+def cube():
+    from repro import PowerLaw
+
+    return PowerLaw(3.0)

@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Cloud billing: the paper's motivating application (§1).
+
+A cloud provider charges ``lambda - rho * t_delay`` per unit volume.  The
+penalty rate ``rho`` is in the contract (known when a job is submitted); the
+job's true size is whatever the customer uploaded (unknown until it runs to
+completion).  The scheduler controls exactly the term
+``rho * F_int[j] * V[j]`` — weighted flow-time with *known density and
+unknown weight* — plus the provider's energy bill.
+
+Part 1 (single SLA class -> uniform densities, §3): Algorithm NC with the §5
+conversion, against a constant-speed FIFO cluster and the clairvoyant
+Algorithm C.  NC's guarantees have tight constants here (3 + 1/(alpha-1)),
+and it lands within a small factor of the clairvoyant reference without ever
+seeing a job size.
+
+Part 2 (tenant-specific SLAs -> non-uniform densities, §4): Algorithm
+NC-general.  Note the honest caveat the paper itself states: the §4
+competitive constant is 2^{O(alpha)} — the speed multiplier eta costs
+eta^alpha in energy — so on small friendly instances the worst-case-optimal
+algorithm spends visibly more energy than the clairvoyant reference.
+
+Usage::
+
+    python examples/cloud_scheduling.py [jobs_per_tenant] [seed]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import PowerLaw
+from repro.algorithms import (
+    convert,
+    simulate_clairvoyant,
+    simulate_constant_speed_fifo,
+    simulate_nc_general,
+    simulate_nc_uniform,
+)
+from repro.analysis import format_table
+from repro.core import evaluate
+from repro.workloads import Tenant, billing_summary, cloud_instance
+
+
+def run_single_class(jobs: int, seed: int, power: PowerLaw) -> None:
+    # One SLA class: every job pays lambda=8 and is penalised at rho=1.
+    tenants = (Tenant("standard", lam=8.0, penalty=1.0, mean_volume=1.5, submit_rate=1.2),)
+    instance, owner = cloud_instance(jobs, seed, tenants=tenants)
+
+    rows = []
+    # Theorem 9: Algorithm NC itself is (3 + 1/(alpha-1))-competitive for the
+    # integral objective — no conversion needed in the uniform case.
+    nc = evaluate(simulate_nc_uniform(instance, power).schedule, instance, power)
+    bill = billing_summary(nc, instance, owner)
+    rows.append(["NC (non-clairvoyant)", bill.delay_penalty, bill.energy_cost, bill.net])
+
+    # NB: this baseline is given hindsight it should not have — its speed is
+    # sized from the *total* volume of the stream.
+    avg_speed = instance.total_volume / max(instance.max_release, 1.0)
+    base = evaluate(simulate_constant_speed_fifo(instance, max(avg_speed, 0.5)), instance, power)
+    bill_b = billing_summary(base, instance, owner)
+    rows.append(["FIFO @ hindsight speed", bill_b.delay_penalty, bill_b.energy_cost, bill_b.net])
+
+    c = evaluate(simulate_clairvoyant(instance, power).schedule, instance, power)
+    bill_c = billing_summary(c, instance, owner)
+    rows.append(["C (clairvoyant ref.)", bill_c.delay_penalty, bill_c.energy_cost, bill_c.net])
+
+    print(
+        format_table(
+            ["scheduler", "delay penalty", "energy", "net revenue"],
+            rows,
+            title=f"Part 1 — one SLA class, {len(instance)} jobs, gross payment "
+            f"{bill.gross_payment:.2f}",
+            floatfmt=".2f",
+        )
+    )
+    print(
+        "(NC's energy is *exactly* the clairvoyant reference's — Lemma 3 — and\n"
+        " its guarantee needs no tuning knowledge, unlike the FIFO baseline.)"
+    )
+
+
+def run_multi_tenant(jobs_per_tenant: int, seed: int, power: PowerLaw) -> None:
+    instance, owner = cloud_instance(jobs_per_tenant, seed)
+    print(
+        f"\nPart 2 — {len(instance)} jobs from "
+        f"{len({t.name for t in owner.values()})} tenants with distinct SLA penalty rates"
+    )
+
+    rows = []
+    nc_run = simulate_nc_general(instance, power, max_step=2e-2)
+    conv = convert(nc_run.schedule, instance, power, epsilon=0.5)
+    bill_nc = billing_summary(conv.integral_report, instance, owner)
+    rows.append([f"NC-general (eta={nc_run.eta:.2f}) + §5", bill_nc.delay_penalty,
+                 bill_nc.energy_cost, bill_nc.net])
+
+    avg_speed = instance.total_volume / max(instance.max_release, 1.0)
+    base = evaluate(simulate_constant_speed_fifo(instance, max(avg_speed, 0.5)), instance, power)
+    bill_b = billing_summary(base, instance, owner)
+    rows.append(["constant-speed FIFO", bill_b.delay_penalty, bill_b.energy_cost, bill_b.net])
+
+    c = evaluate(simulate_clairvoyant(instance, power).schedule, instance, power)
+    bill_c = billing_summary(c, instance, owner)
+    rows.append(["C (clairvoyant ref.)", bill_c.delay_penalty, bill_c.energy_cost, bill_c.net])
+
+    print(
+        format_table(
+            ["scheduler", "delay penalty", "energy", "net revenue"],
+            rows,
+            floatfmt=".2f",
+        )
+    )
+    print(
+        "\n(NC-general's extra energy is the paper's 2^O(alpha) constant at work:\n"
+        " its speed multiplier eta costs eta^alpha in energy — the price of a\n"
+        " worst-case guarantee with unknown volumes and mixed densities.)"
+    )
+
+    print("\nPer-tenant delay penalties under NC-general:")
+    per_tenant: dict[str, float] = {}
+    for jid, flow in conv.integral_report.integral_flow_by_job.items():
+        per_tenant[owner[jid].name] = per_tenant.get(owner[jid].name, 0.0) + flow
+    for name, penalty in sorted(per_tenant.items()):
+        print(f"  {name:<16} {penalty:10.3f}")
+
+
+def main(jobs_per_tenant: int = 6, seed: int = 2026) -> None:
+    power = PowerLaw(3.0)
+    run_single_class(jobs_per_tenant * 3, seed, power)
+    run_multi_tenant(jobs_per_tenant, seed, power)
+
+
+if __name__ == "__main__":
+    args = [int(a) for a in sys.argv[1:3]]
+    main(*args)

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Step-by-step walkthrough of the two algorithms' decisions.
+
+Prints, for a three-job instance, exactly what each algorithm knows and does
+at every event — the pedagogical companion to §1.2/§3 of the paper.  Run it
+once and the FIFO-vs-HDF tension, the shadow simulation, and the
+power-equals-weight rule stop being abstract.
+
+Usage::
+
+    python examples/explore_dynamics.py
+"""
+
+from __future__ import annotations
+
+from repro import Instance, Job, PowerLaw
+from repro.algorithms import simulate_clairvoyant, simulate_nc_uniform
+from repro.analysis import job_statistics
+from repro.core import evaluate
+
+
+def main() -> None:
+    alpha = 3.0
+    power = PowerLaw(alpha)
+    inst = Instance(
+        [
+            Job(0, release=0.0, volume=4.0),
+            Job(1, release=1.0, volume=0.5),
+            Job(2, release=1.2, volume=2.0),
+        ]
+    )
+
+    print("Instance (densities all 1; volumes hidden from NC until completion):")
+    for j in inst:
+        print(f"  job {j.job_id}: release {j.release:4.1f}  volume {j.volume:4.1f}")
+
+    print("\n--- Algorithm C (clairvoyant): HDF order, P(speed) = remaining weight ---")
+    c = simulate_clairvoyant(inst, power)
+    for seg in c.schedule:
+        s0, s1 = seg.speed_at(seg.t0), seg.speed_at(seg.t1)
+        print(
+            f"  [{seg.t0:7.3f}, {seg.t1:7.3f}]  job {seg.job_id}:"
+            f" speed {s0:.3f} -> {s1:.3f}"
+            f"  (remaining weight {power.power(s0):.3f} -> {power.power(s1):.3f})"
+        )
+
+    print("\n--- Algorithm NC (non-clairvoyant): FIFO, P(speed) = W^C(r-) + processed ---")
+    nc = simulate_nc_uniform(inst, power)
+    for seg in nc.schedule:
+        j = seg.job_id
+        print(
+            f"  [{seg.t0:7.3f}, {seg.t1:7.3f}]  job {j}:"
+            f" starts at the shadow offset W^C(r[{j}]-) = {nc.offsets[j]:.4f};"
+            f" speed {seg.speed_at(seg.t0):.3f} -> {seg.speed_at(seg.t1):.3f}"
+        )
+    print(
+        "\n  The offset is what a clairvoyant run would still have left at the"
+        "\n  job's release — NC can compute it because FIFO means every earlier"
+        "\n  job has already completed (volume revealed) when this one starts."
+    )
+
+    rep_c = evaluate(c.schedule, inst, power)
+    rep_nc = evaluate(nc.schedule, inst, power)
+    print("\n--- Outcome ---")
+    print(f"  energy:          C {rep_c.energy:9.4f}   NC {rep_nc.energy:9.4f}   (Lemma 3: equal)")
+    print(
+        f"  fractional flow: C {rep_c.fractional_flow:9.4f}   NC {rep_nc.fractional_flow:9.4f}"
+        f"   (Lemma 4: x{1 / (1 - 1 / alpha):.4f})"
+    )
+    stats_c = job_statistics(rep_c, inst)
+    stats_nc = job_statistics(rep_nc, inst)
+    print("\n  per-job slowdown (flow / ideal unit-speed time):")
+    for a, b in zip(stats_c.jobs, stats_nc.jobs):
+        print(f"    job {a.job_id}:  C {a.slowdown:6.3f}   NC {b.slowdown:6.3f}")
+    print(
+        "\n  Note job 1 (tiny, released early): C preempts nothing for it"
+        "\n  (equal densities -> FIFO tie-break), but its *speed* benefits from"
+        "\n  the backlog; under NC it waits for job 0 to finish - the price of"
+        "\n  probing volumes in FIFO order."
+    )
+
+
+if __name__ == "__main__":
+    main()

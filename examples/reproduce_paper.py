@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""One-command tour of the full reproduction.
+
+Runs a condensed version of every experiment (Table 1, Figures 1–3, the §3
+identities, the §6 parallel results and lower bound, the §7 observation) and
+prints the paper-vs-measured summary.  The benchmark harness
+(`pytest benchmarks/ --benchmark-only`) runs the full-size versions; this
+script is the human-friendly walkthrough.
+
+Usage::
+
+    python examples/reproduce_paper.py [--alpha 3.0]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import Instance, Job, PowerLaw
+from repro.algorithms import simulate_clairvoyant, simulate_nc_uniform
+from repro.analysis import (
+    build_table1,
+    format_ascii_chart,
+    format_table,
+    power_curve,
+    preemption_intervals,
+    render_table1,
+)
+from repro.core import evaluate
+from repro.parallel import adversarial_ratio, simulate_c_par, simulate_nc_par
+from repro.workloads import geometric_density_instance, random_instance
+
+
+def section(title: str) -> None:
+    print("\n" + "=" * 72)
+    print(title)
+    print("=" * 72)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--alpha", type=float, default=3.0)
+    args = parser.parse_args()
+    alpha = args.alpha
+    power = PowerLaw(alpha)
+
+    section("Figure 1 — single-job power curves (C decays, NC is the reverse)")
+    inst1 = Instance([Job(0, 0.0, 4.0)])
+    c1 = simulate_clairvoyant(inst1, power)
+    n1 = simulate_nc_uniform(inst1, power)
+    cc = power_curve(c1.schedule, power, samples=64, label="C")
+    cn = power_curve(n1.schedule, power, samples=64, label="NC")
+    print(format_ascii_chart([(cc.label, cc.times, cc.values), (cn.label, cn.times, cn.values)]))
+    rc, rn = evaluate(c1.schedule, inst1, power), evaluate(n1.schedule, inst1, power)
+    print(f"\nC: flow/energy = {rc.fractional_flow / rc.energy:.9f}  (paper: 1)")
+    print(
+        f"NC: flow/energy = {rn.fractional_flow / rn.energy:.9f}"
+        f"  (paper: 1/(1-1/alpha) = {1 / (1 - 1 / alpha):.9f})"
+    )
+
+    section("§3 identities on a random stream (Lemmas 3 and 4)")
+    inst = random_instance(20, seed=42)
+    rep_c = evaluate(simulate_clairvoyant(inst, power).schedule, inst, power)
+    rep_n = evaluate(simulate_nc_uniform(inst, power).schedule, inst, power)
+    print(f"energy:  C = {rep_c.energy:.6f}   NC = {rep_n.energy:.6f}   (equal)")
+    print(
+        f"flow:    C = {rep_c.fractional_flow:.6f}   NC = {rep_n.fractional_flow:.6f}"
+        f"   ratio = {rep_n.fractional_flow / rep_c.fractional_flow:.9f}"
+        f"   (paper: {1 / (1 - 1 / alpha):.9f})"
+    )
+
+    section("Figure 3 — preemption intervals of a low-density job under C")
+    inst3 = Instance(
+        [Job(0, 0.0, 6.0, 1.0), Job(1, 0.6, 0.8, 9.0), Job(2, 2.8, 1.5, 9.0)]
+    )
+    run3 = simulate_clairvoyant(inst3, power)
+    for iv in preemption_intervals(run3, 0):
+        print(
+            f"  interval {iv.index}: [{iv.start:.3f}, {iv.end:.3f}]"
+            f"  volume {iv.volume:.3f}  W-bar {iv.weight_before:.3f}"
+        )
+
+    section("§6 — parallel machines (Lemmas 20-22) and the dispatch lower bound")
+    instp = random_instance(24, seed=7, rate=2.0, volume="bimodal")
+    ncp = simulate_nc_par(instp, power, 3)
+    cp = simulate_c_par(instp, power, 3)
+    print(f"Lemma 20 (same assignments): {ncp.assignments == cp.assignments}")
+    rnp, rcp = ncp.report(), cp.report()
+    print(f"Lemma 21 (energy ratio):     {rnp.energy / rcp.energy:.9f}")
+    print(f"Lemma 22 (flow ratio):       {rnp.fractional_flow / rcp.fractional_flow:.9f}")
+    rows = [[k, adversarial_ratio(k, power).ratio, k ** (1 - 1 / alpha)] for k in (2, 4, 8)]
+    print(format_table(["k", "adversarial ratio", "k^(1-1/alpha)"], rows, floatfmt=".3f"))
+
+    section("§7 — geometric densities on one machine cost only a constant")
+    for l in (2, 4, 8):
+        g = geometric_density_instance(l, rho=5.0, unit_cost=1.0, alpha=alpha)
+        cost = evaluate(simulate_clairvoyant(g, power).schedule, g, power).fractional_objective
+        print(f"  l = {l}: cost / (l*c) = {cost / l:.3f}   (paper's cap: 4)")
+
+    section("Table 1 (condensed suite)")
+    rows = build_table1(alpha, uniform_n=10, nonuniform_n=5, seeds=(1,), slots=200,
+                        iterations=700, max_step=3e-2)
+    print(render_table1(rows, alpha))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+"""repro — a reproduction of *Speed Scaling in the Non-clairvoyant Model*
+(Azar, Devanur, Huang, Panigrahi; SPAA 2015).
+
+The package simulates online speed-scaling schedulers that minimise weighted
+flow-time plus energy on one or more machines, in both the clairvoyant and
+the non-clairvoyant (known density, unknown volume) information models, and
+ships the workloads, offline lower bounds and analysis harness needed to
+reproduce every table and figure of the paper.
+
+Quickstart::
+
+    from repro import Job, Instance, PowerLaw
+    from repro.algorithms import simulate_nc_uniform, simulate_clairvoyant
+    from repro.core import evaluate
+
+    power = PowerLaw(3.0)
+    inst = Instance([Job(0, 0.0, 4.0), Job(1, 1.0, 2.0)])
+    nc = simulate_nc_uniform(inst, power)
+    print(evaluate(nc.schedule, inst, power).fractional_objective)
+"""
+
+from .core import (
+    CUBE_LAW,
+    CostReport,
+    Instance,
+    Job,
+    PowerFunction,
+    PowerLaw,
+    TabulatedPower,
+    evaluate,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Job",
+    "Instance",
+    "PowerFunction",
+    "PowerLaw",
+    "TabulatedPower",
+    "CUBE_LAW",
+    "CostReport",
+    "evaluate",
+    "__version__",
+]

@@ -1,0 +1,215 @@
+"""Algorithm C — the clairvoyant baseline (Bansal, Chan, Pruhs; SODA 2009).
+
+Scheduling rule: **highest density first** (HDF), ties broken FIFO (the
+paper's §4 convention).  Speed rule: **power equals remaining weight**,
+``P(s(t)) = W(t)`` where ``W(t) = Σ_j rho[j]·V[j](t)`` over active jobs.
+
+Theorem 1: Algorithm C is 2-competitive for fractional weighted flow-time plus
+energy, and its total fractional flow-time *equals* its total energy — both
+are ``∫ W(t) dt``.
+
+This module simulates Algorithm C *exactly* for ``P(s)=s**alpha`` by advancing
+the closed-form weight decay between scheduler events (releases and
+completions); see :mod:`repro.core.kernels`.  For general power functions use
+:class:`ClairvoyantPolicy` on the numeric engine.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..core.engine import SchedulingPolicy
+from ..core.kernels import decay_time_between, decay_weight_after
+from ..core.errors import SimulationError
+from ..core.job import Instance, Job
+from ..core.power import PowerFunction, PowerLaw
+from ..core.schedule import DecaySegment, Schedule, ScheduleBuilder
+
+__all__ = ["ClairvoyantRun", "simulate_clairvoyant", "ClairvoyantPolicy", "hdf_key"]
+
+_TIE_TOL = 1e-12
+
+
+def hdf_key(job: Job) -> tuple[float, float, int]:
+    """Sort key for highest-density-first with FIFO tie-breaking."""
+    return (-job.density, job.release, job.job_id)
+
+
+@dataclass(frozen=True)
+class ClairvoyantRun:
+    """The outcome of an exact Algorithm C simulation.
+
+    ``clock`` is the time the simulation stopped: the last completion, or the
+    ``until`` horizon if one was given.  ``remaining`` maps job id to remaining
+    volume at ``clock`` (empty when the run finished all jobs).
+    """
+
+    instance: Instance
+    power: PowerLaw
+    schedule: Schedule
+    clock: float
+    remaining: dict[int, float]
+
+    def remaining_weight_at(self, t: float, *, include_release_at_t: bool = True) -> float:
+        """Total remaining fractional weight ``W(t)`` at time ``t``.
+
+        With ``include_release_at_t=False`` this is the left limit
+        ``W(t-)`` — the quantity Algorithm NC reads at a release instant.
+        """
+        total = 0.0
+        for job in self.instance:
+            if job.release > t or (not include_release_at_t and job.release >= t):
+                continue
+            done = self.schedule.processed_volume_until(job.job_id, t)
+            left = job.volume - done
+            # Clamp float residue from completed jobs: a 1e-16 leftover gets
+            # amplified by the 1/beta exponent wherever this feeds a kernel.
+            if left <= 1e-15 * job.volume:
+                left = 0.0
+            total += job.density * left
+        return total
+
+    def remaining_volume_at(self, job_id: int, t: float) -> float:
+        job = self.instance[job_id]
+        if job.release > t:
+            return job.volume
+        return max(job.volume - self.schedule.processed_volume_until(job_id, t), 0.0)
+
+    def completion_time(self, job_id: int) -> float:
+        return self.schedule.completion_time(job_id, self.instance[job_id].volume)
+
+    def weight_profile(self, samples: int = 256) -> tuple[list[float], list[float]]:
+        """``(times, W(t))`` sampled densely over the run — Fig. 1a / Fig. 2b
+        material."""
+        end = self.schedule.end_time
+        times = [end * k / (samples - 1) for k in range(samples)]
+        return times, [self.remaining_weight_at(t) for t in times]
+
+
+def simulate_clairvoyant(
+    instance: Instance,
+    power: PowerLaw,
+    *,
+    until: float | None = None,
+    resume: tuple[float, dict[int, float]] | None = None,
+) -> ClairvoyantRun:
+    """Exact event-driven simulation of Algorithm C under ``P(s)=s**alpha``.
+
+    With ``until`` given, the simulation stops at that time (useful for the
+    shadow simulations of Algorithm NC, which only need the state of C at the
+    current moment); otherwise it runs to the last completion.
+
+    ``resume=(t0, remaining)`` warm-starts the run from a checkpoint: the
+    clock begins at ``t0`` with the given remaining volumes already admitted.
+    Instance jobs in ``remaining`` are never re-admitted; jobs released
+    strictly before ``t0`` and absent from ``remaining`` are treated as
+    already completed; jobs released at or after ``t0`` are admitted as
+    usual.  Used by Algorithm NC-general to avoid re-simulating the invariant
+    prefix of its shadow runs.
+    """
+    if not isinstance(power, PowerLaw):
+        raise TypeError("analytic Algorithm C requires a PowerLaw; use ClairvoyantPolicy otherwise")
+    alpha = power.alpha
+    horizon = math.inf if until is None else float(until)
+
+    releases = list(instance.jobs)
+    next_rel = 0
+    # Active set: job -> remaining volume, processed in HDF order.
+    remaining: dict[int, float] = {}
+    builder = ScheduleBuilder()
+    t = 0.0
+    if resume is not None:
+        t, ckpt = resume
+        remaining = {j: v for j, v in ckpt.items() if v > 0.0}
+        covered = set(ckpt.keys())
+        releases = [
+            j
+            for j in releases
+            if j.job_id not in covered and j.release >= t * (1.0 - _TIE_TOL) - 1e-300
+        ]
+
+    def admit(now: float) -> None:
+        # Tolerances are *relative*: shadow simulations (Algorithm NC-general's
+        # speed rule) legitimately run this loop at picosecond scales where any
+        # absolute slack would swallow the whole dynamics.
+        nonlocal next_rel
+        while next_rel < len(releases) and releases[next_rel].release <= now * (1.0 + _TIE_TOL):
+            remaining[releases[next_rel].job_id] = releases[next_rel].volume
+            next_rel += 1
+
+    admit(t)
+    while t < horizon and (remaining or next_rel < len(releases)):
+        if not remaining:
+            t = min(releases[next_rel].release, horizon)
+            admit(t)
+            continue
+        current = min((instance[j] for j in remaining), key=hdf_key)
+        w_total = sum(instance[j].density * v for j, v in remaining.items())
+        if w_total <= 0:
+            raise SimulationError("active set with zero weight")
+        w_end = w_total - current.density * remaining[current.job_id]
+        tau_complete = decay_time_between(w_total, max(w_end, 0.0), current.density, alpha)
+        t_next_event = releases[next_rel].release if next_rel < len(releases) else math.inf
+        t_stop = min(t + tau_complete, t_next_event, horizon)
+
+        if t_stop >= t + tau_complete * (1.0 - _TIE_TOL):
+            # The current job completes first.
+            builder.append(
+                DecaySegment(t, t + tau_complete, current.job_id, w_total, current.density, alpha)
+            )
+            t = t + tau_complete
+            del remaining[current.job_id]
+        else:
+            tau = t_stop - t
+            if tau > 0:
+                w_after = decay_weight_after(w_total, current.density, tau, alpha)
+                dv = (w_total - w_after) / current.density
+                builder.append(DecaySegment(t, t_stop, current.job_id, w_total, current.density, alpha))
+                remaining[current.job_id] = max(remaining[current.job_id] - dv, 0.0)
+                # Only drop exact zeros.  A remainder like 1e-15 is usually
+                # the *analytically correct* value (for alpha near 1 the
+                # weight curve is extremely flat near completion: remaining
+                # weight (beta*dt)**(1/beta) underflows fast), and the
+                # growth/decay kernels recover its beta-th root accurately;
+                # cutting it would visibly break the Lemma 3/4 equalities.
+                if remaining[current.job_id] <= 0.0:
+                    del remaining[current.job_id]
+            t = t_stop
+        admit(t)
+
+    return ClairvoyantRun(
+        instance=instance, power=power, schedule=builder.build(), clock=t, remaining=dict(remaining)
+    )
+
+
+class ClairvoyantPolicy(SchedulingPolicy):
+    """Algorithm C as a policy for the generic numeric engine.
+
+    Being clairvoyant, it is constructed with the true instance (this is the
+    *baseline*, not a non-clairvoyant algorithm) and works for any power
+    function.
+    """
+
+    def __init__(self, instance: Instance, power: PowerFunction) -> None:
+        self.instance = instance
+        self.power = power
+        self._active: set[int] = set()
+
+    def on_release(self, t: float, job_id: int, density: float) -> None:
+        self._active.add(job_id)
+
+    def on_completion(self, t: float, job_id: int, volume: float) -> None:
+        self._active.discard(job_id)
+
+    def select_job(self, t: float) -> int | None:
+        if not self._active:
+            return None
+        return min((self.instance[j] for j in self._active), key=hdf_key).job_id
+
+    def speed(self, t: float, processed: dict[int, float]) -> float:
+        w = sum(
+            self.instance[j].density * max(self.instance[j].volume - processed.get(j, 0.0), 0.0)
+            for j in self._active
+        )
+        return self.power.speed(w)

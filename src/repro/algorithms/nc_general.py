@@ -1,0 +1,224 @@
+"""Algorithm NC-general — non-clairvoyant scheduling with non-uniform
+densities (§4).
+
+The algorithm:
+
+1. round every density *down* to a power of ``beta`` (``beta > 4``);
+2. among active jobs, process the one with the highest rounded density,
+   FIFO within a density class;
+3. run at speed ``s(t) = eta * s^C_{I(t)}(t) + epsilon`` where ``I(t)`` is the
+   **current instance** — every job's weight is exactly the (rounded-density)
+   weight the non-clairvoyant algorithm has processed of it so far — and
+   ``s^C_{I(t)}(t)`` is the speed Algorithm C would have at time ``t`` when run
+   on ``I(t)`` from scratch.
+
+``eta > 1`` is the speedup that makes the induction of §4.1 go through
+(properties (A) and (B)); ``epsilon > 0`` bootstraps the recursion away from
+the all-zero solution.  The extended abstract defers exact constants to the
+full version, so ``eta``, ``beta`` and ``epsilon`` are parameters here
+(defaults ``eta=2``, ``beta=5``, ``epsilon=1e-6``) and the ablation bench
+sweeps them.
+
+Unlike the uniform case there is no closed form — the speed at ``t`` depends
+on a *shadow simulation* of Algorithm C over the evolving instance — so this
+runs on the generic numeric engine.  The shadow run is cheap because
+``simulate_clairvoyant(..., until=t)`` reports C's live remaining weights
+directly, and C's speed is ``P^{-1}`` of their sum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.engine import EngineResult, NumericEngine, SchedulingPolicy
+from ..core.job import Instance, Job
+from ..core.power import PowerLaw
+from ..core.schedule import Schedule
+from .density_rounding import round_density_down
+
+__all__ = ["NCGeneralRun", "NCGeneralPolicy", "simulate_nc_general", "eta_threshold"]
+
+#: Safety margin over the single-job threshold used when ``eta`` is defaulted.
+_ETA_MARGIN = 1.3
+
+
+def eta_threshold(alpha: float) -> float:
+    """The minimal ``eta`` for which the single-job dynamics are self-sustaining.
+
+    While NC-general processes a lone job of density ``rho``, the processed
+    weight ``w(t)`` that keeps the shadow run exactly on a self-similar curve
+    ``w = (c * beta_a * rho * t)**(1/beta_a)`` (``beta_a = 1 - 1/alpha``)
+    requires ``eta = c**(alpha/(alpha-1)) / (c-1)**(1/(alpha-1))``.  Minimising
+    over ``c`` (at ``c = alpha/(alpha-1)``) gives
+
+        ``eta_min = (alpha/(alpha-1))**(alpha/(alpha-1)) * (alpha-1)**(1/(alpha-1))``.
+
+    Below this threshold no self-similar solution exists: the shadow
+    clairvoyant run catches up with NC, its remaining weight hits zero, and
+    the algorithm degenerates to the ``epsilon`` crawl.  Above it, the larger
+    root ``c2`` of the equation is a stable attractor and the paper's
+    property (A) holds with ``zeta = (c2-1)/c2``.  (The extended abstract
+    defers its choice of ``eta`` to the full version; this threshold is the
+    reproduction's derivation of the constraint.)
+    """
+    if alpha <= 1:
+        raise ValueError(f"alpha must exceed 1, got {alpha}")
+    q = alpha / (alpha - 1.0)
+    return q**q * (alpha - 1.0) ** (1.0 / (alpha - 1.0))
+
+
+class NCGeneralPolicy(SchedulingPolicy):
+    """Algorithm NC-general as a policy for the numeric engine.
+
+    Honestly non-clairvoyant: the policy sees releases/densities and the
+    engine-maintained processed volumes; true volumes reach it only through
+    ``on_completion``.
+    """
+
+    def __init__(
+        self,
+        power: PowerLaw,
+        *,
+        eta: float | None = None,
+        beta: float = 5.0,
+        epsilon: float = 1e-6,
+        use_checkpoints: bool = True,
+    ) -> None:
+        if not isinstance(power, PowerLaw):
+            raise TypeError("NC-general's shadow simulation requires a PowerLaw")
+        if eta is None:
+            eta = _ETA_MARGIN * eta_threshold(power.alpha)
+        if eta < 1:
+            raise ValueError(f"eta must be >= 1, got {eta}")
+        if beta <= 1:
+            raise ValueError(f"beta must be > 1, got {beta}")
+        if epsilon <= 0:
+            raise ValueError(f"epsilon must be > 0, got {epsilon}")
+        self.power = power
+        self.eta = eta
+        self.beta = beta
+        self.epsilon = epsilon
+        self.use_checkpoints = use_checkpoints
+        #: job id -> (release, rounded density); insertion order is release
+        #: order because on_release fires in that order.
+        self._released: dict[int, tuple[float, float]] = {}
+        self._active: list[int] = []
+        #: shadow-run checkpoint: (current job id, its release, Algorithm C's
+        #: remaining volumes just before that release on the *other* jobs).
+        #: While NC processes one job, only that job's weight in I(t) changes
+        #: and it is released at its own release time, so C's run before that
+        #: instant is invariant — the checkpoint amortises the shadow cost.
+        self._ckpt: tuple[int, float, dict[int, float]] | None = None
+
+    # -- engine callbacks -----------------------------------------------------
+
+    def on_release(self, t: float, job_id: int, density: float) -> None:
+        self._released[job_id] = (t, round_density_down(density, self.beta))
+        self._active.append(job_id)
+        self._ckpt = None  # a new arrival may change which job is processed
+
+    def on_completion(self, t: float, job_id: int, volume: float) -> None:
+        self._active.remove(job_id)
+        self._ckpt = None
+
+    def select_job(self, t: float) -> int | None:
+        if not self._active:
+            return None
+        # Highest rounded density; FIFO within a class (insertion order of
+        # _active is release order, so a stable min does the tie-breaking).
+        return min(self._active, key=lambda j: (-self._released[j][1], self._released[j][0], j))
+
+    def speed(self, t: float, processed: dict[int, float]) -> float:
+        shadow = self._shadow_speed(t, processed)
+        return self.eta * shadow + self.epsilon
+
+    # -- the shadow simulation -----------------------------------------------
+
+    def current_instance(self, processed: dict[int, float]) -> Instance | None:
+        """The paper's ``I(t)``: released jobs with rounded densities, each
+        with volume equal to what NC has processed of it (zero-volume jobs
+        drop out)."""
+        jobs = [
+            Job(jid, rel, processed[jid], rho)
+            for jid, (rel, rho) in self._released.items()
+            if processed.get(jid, 0.0) > 0.0
+        ]
+        return Instance(jobs) if jobs else None
+
+    def _shadow_speed(self, t: float, processed: dict[int, float]) -> float:
+        from .clairvoyant import simulate_clairvoyant
+
+        inst = self.current_instance(processed)
+        if inst is None:
+            return 0.0
+        j_star = self.select_job(t)
+        if (
+            not self.use_checkpoints
+            or j_star is None
+            or processed.get(j_star, 0.0) <= 0.0
+            or j_star not in inst
+        ):
+            # Boundary states (nothing of the current job processed yet):
+            # just run the shadow from scratch, it is short anyway.
+            run = simulate_clairvoyant(inst, self.power, until=t)
+        else:
+            r_star = self._released[j_star][0]
+            if self._ckpt is None or self._ckpt[0] != j_star:
+                others = [j for j in inst if j.job_id != j_star]
+                if others:
+                    pre = simulate_clairvoyant(Instance(others), self.power, until=r_star)
+                    ck = dict(pre.remaining)
+                else:
+                    ck = {}
+                self._ckpt = (j_star, r_star, ck)
+            _, t0, ck = self._ckpt
+            run = simulate_clairvoyant(inst, self.power, until=t, resume=(t0, ck))
+        w_rem = sum(inst[jid].density * v for jid, v in run.remaining.items())
+        return self.power.speed(w_rem)
+
+
+@dataclass(frozen=True)
+class NCGeneralRun:
+    """Outcome of an NC-general simulation."""
+
+    instance: Instance
+    power: PowerLaw
+    schedule: Schedule
+    eta: float
+    beta: float
+    epsilon: float
+    engine_steps: int
+
+    def completion_time(self, job_id: int) -> float:
+        return self.schedule.completion_time(job_id, self.instance[job_id].volume)
+
+
+def simulate_nc_general(
+    instance: Instance,
+    power: PowerLaw,
+    *,
+    eta: float | None = None,
+    beta: float = 5.0,
+    epsilon: float = 1e-6,
+    max_step: float = 1e-2,
+) -> NCGeneralRun:
+    """Run Algorithm NC-general numerically on ``instance``.
+
+    ``eta=None`` picks ``1.3 * eta_threshold(alpha)``.  ``max_step`` is the
+    engine's integration step bound; results converge as it shrinks (see
+    ``benchmarks/bench_engine_accuracy.py``).  The engine's ``min_step`` is
+    tied to ``epsilon**2`` so the post-release bootstrap window is resolved.
+    """
+    policy = NCGeneralPolicy(power, eta=eta, beta=beta, epsilon=epsilon)
+    min_step = min(1e-14, epsilon**2 / 16.0)
+    engine = NumericEngine(power, max_step=max_step, min_step=max(min_step, 1e-300))
+    result: EngineResult = engine.run(instance, policy)
+    return NCGeneralRun(
+        instance=instance,
+        power=power,
+        schedule=result.schedule,
+        eta=policy.eta,
+        beta=policy.beta,
+        epsilon=policy.epsilon,
+        engine_steps=result.steps,
+    )

@@ -1,0 +1,187 @@
+"""Algorithm NC — the non-clairvoyant algorithm for uniform densities (§3).
+
+Scheduling rule: **first-in first-out** — always run the active job with the
+earliest release.  Speed rule: while processing job ``j`` at time ``t``,
+
+    ``P(s(t)) = W^C(r[j]-) + W̆[j](t)``
+
+where ``W^C(r[j]-)`` is the remaining weight of *Algorithm C simulated on the
+prefix instance* (all jobs released strictly before ``r[j]``, whose volumes NC
+has already learned by completing them — FIFO guarantees this) just before
+``r[j]``, and ``W̆[j](t)`` is the weight of ``j`` that NC has processed so far.
+
+Guarantees reproduced by the test-suite as *equalities*:
+
+* Lemma 3 — energy(NC) == energy(C);
+* Lemma 4 — fractional flow(NC) == fractional flow(C) / (1 − 1/α);
+* Theorem 5 — NC is ``2 + 1/(α−1)``-competitive (fractional);
+* Lemma 8 / Theorem 9 — ``3 + 1/(α−1)``-competitive (integral).
+
+For ``P(s)=s**alpha`` the dynamics while a job runs are the growth kernel
+``dU/dt = rho·U**(1/alpha)`` with ``U = W^C(r[j]-) + W̆[j]``, so the whole run
+is computed in closed form: one :class:`~repro.core.schedule.GrowthSegment`
+per job.  Note that the speed while processing ``j`` depends only on ``j``'s
+own progress and on jobs released *before* ``j`` — later arrivals never change
+it — which is why the simulation is a single FIFO pass.
+"""
+
+from __future__ import annotations
+from dataclasses import dataclass
+
+from ..core.engine import NumericEngine, SchedulingPolicy
+from ..core.errors import InvalidInstanceError, SimulationError
+from ..core.job import Instance
+from ..core.kernels import growth_time_between
+from ..core.power import PowerFunction, PowerLaw
+from ..core.schedule import GrowthSegment, Schedule, ScheduleBuilder
+from .clairvoyant import ClairvoyantPolicy, simulate_clairvoyant
+
+__all__ = ["NCUniformRun", "simulate_nc_uniform", "NCUniformPolicy"]
+
+
+@dataclass(frozen=True)
+class NCUniformRun:
+    """Outcome of an exact Algorithm NC simulation.
+
+    ``offsets`` maps each job id to its speed-rule constant ``W^C(r[j]-)``;
+    ``starts`` maps each job to the time NC began processing it.
+    """
+
+    instance: Instance
+    power: PowerLaw
+    schedule: Schedule
+    offsets: dict[int, float]
+    starts: dict[int, float]
+
+    def processed_weight_at(self, job_id: int, t: float) -> float:
+        """``W̆[j](t)`` — the weight of job ``j`` processed by time ``t``."""
+        job = self.instance[job_id]
+        return job.density * self.schedule.processed_volume_until(job_id, t)
+
+    def completion_time(self, job_id: int) -> float:
+        return self.schedule.completion_time(job_id, self.instance[job_id].volume)
+
+
+def simulate_nc_uniform(instance: Instance, power: PowerLaw) -> NCUniformRun:
+    """Exact simulation of Algorithm NC on a uniform-density instance."""
+    if not isinstance(power, PowerLaw):
+        raise TypeError("analytic Algorithm NC requires a PowerLaw; use NCUniformPolicy otherwise")
+    if not instance.is_uniform_density():
+        raise InvalidInstanceError(
+            "Algorithm NC (§3) requires uniform densities; "
+            "use simulate_nc_general for the non-uniform case"
+        )
+    alpha = power.alpha
+    builder = ScheduleBuilder()
+    offsets: dict[int, float] = {}
+    starts: dict[int, float] = {}
+    t = 0.0
+    for job in instance:  # FIFO == release order
+        start = max(t, job.release)
+        # The speed-rule constant: Algorithm C's remaining weight just before
+        # r[j], simulated on the prefix of already-completed (hence known) jobs.
+        prefix = instance.released_before(job.release, strict=True)
+        if prefix is None:
+            offset = 0.0
+        else:
+            c_run = simulate_clairvoyant(prefix, power, until=job.release)
+            # Read the simulator's live state rather than re-integrating the
+            # schedule: completed jobs are exactly absent, so no 1e-16 residue
+            # survives (residues get amplified by the 1/beta exponent of the
+            # growth curve when alpha is close to 1).
+            offset = sum(prefix[jid].density * v for jid, v in c_run.remaining.items())
+        offsets[job.job_id] = offset
+        starts[job.job_id] = start
+        # U grows from offset to offset + W[j]; the job completes when all of
+        # its (only now revealed) weight has been processed.
+        tau = growth_time_between(offset, offset + job.weight, job.density, alpha)
+        builder.append(GrowthSegment(start, start + tau, job.job_id, offset, job.density, alpha))
+        t = start + tau
+    return NCUniformRun(
+        instance=instance, power=power, schedule=builder.build(), offsets=offsets, starts=starts
+    )
+
+
+class NCUniformPolicy(SchedulingPolicy):
+    """Algorithm NC as a policy for the generic numeric engine.
+
+    Works for any power function (Lemmas 3 and 6 hold in that generality);
+    the prefix shadow run of Algorithm C is analytic under a
+    :class:`PowerLaw` and numeric otherwise.  The policy is honestly
+    non-clairvoyant: it learns densities from ``on_release`` and volumes from
+    ``on_completion`` only.
+    """
+
+    def __init__(
+        self, power: PowerFunction, shadow_max_step: float = 1e-3, epsilon: float = 1e-6
+    ) -> None:
+        self.power = power
+        self.shadow_max_step = shadow_max_step
+        self.epsilon = epsilon
+        self._released: dict[int, tuple[float, float]] = {}  # id -> (release, density)
+        self._completed: dict[int, float] = {}  # id -> revealed volume
+        self._active: list[int] = []  # FIFO queue
+        self._offsets: dict[int, float] = {}
+        self._starts: dict[int, float] = {}  # first time each job was driven
+
+    def on_release(self, t: float, job_id: int, density: float) -> None:
+        self._released[job_id] = (t, density)
+        self._active.append(job_id)
+
+    def on_completion(self, t: float, job_id: int, volume: float) -> None:
+        self._completed[job_id] = volume
+        self._active.remove(job_id)
+
+    def select_job(self, t: float) -> int | None:
+        return self._active[0] if self._active else None
+
+    def speed(self, t: float, processed: dict[int, float]) -> float:
+        job_id = self._active[0]
+        release, density = self._released[job_id]
+        offset = self._offsets.get(job_id)
+        if offset is None:
+            offset = self._prefix_remaining_weight(release)
+            self._offsets[job_id] = offset
+        self._starts.setdefault(job_id, t)
+        u = offset + density * processed.get(job_id, 0.0)
+        if u <= 0.0:
+            # Degenerate start: P(s) = 0 + 0.  The growth ODE's non-trivial
+            # solution (the time reversal of the clairvoyant decay; Fig 1b)
+            # leaves zero immediately — follow it exactly for power laws,
+            # epsilon-bootstrap otherwise (the paper's fix, §4).
+            tau = max(t - self._starts[job_id], 0.0)
+            if isinstance(self.power, PowerLaw) and tau > 0.0:
+                from ..core.kernels import growth_weight_after
+
+                u = growth_weight_after(0.0, density, tau, self.power.alpha)
+            else:
+                return self.epsilon
+        return self.power.speed(u)
+
+    def _prefix_remaining_weight(self, release: float) -> float:
+        """``W^C(release-)`` from the jobs completed so far (all jobs released
+        strictly before ``release``, by FIFO)."""
+        from ..core.job import Job
+
+        prefix_jobs = []
+        for jid, (r, rho) in self._released.items():
+            if r < release:
+                if jid not in self._completed:
+                    raise SimulationError(
+                        f"FIFO invariant broken: job {jid} released before {release} "
+                        "has not completed when its successor starts"
+                    )
+                prefix_jobs.append(Job(jid, r, self._completed[jid], rho))
+        if not prefix_jobs:
+            return 0.0
+        prefix = Instance(prefix_jobs)
+        if isinstance(self.power, PowerLaw):
+            run = simulate_clairvoyant(prefix, self.power, until=release)
+            return run.remaining_weight_at(release)
+        engine = NumericEngine(self.power, max_step=self.shadow_max_step)
+        result = engine.run(prefix, ClairvoyantPolicy(prefix, self.power))
+        total = 0.0
+        for job in prefix:
+            done = result.schedule.processed_volume_until(job.job_id, release)
+            total += job.density * max(job.volume - done, 0.0)
+        return total

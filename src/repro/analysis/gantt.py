@@ -1,0 +1,68 @@
+"""ASCII Gantt charts of schedules.
+
+Terminal-friendly timelines: one row per machine (or a single row for a
+single-machine schedule), one glyph per job.  Intended for examples and
+debugging — the exact numbers always come from
+:func:`repro.core.metrics.evaluate`.
+"""
+
+from __future__ import annotations
+
+from ..core.schedule import Schedule
+from ..parallel.cluster import ClusterRun
+
+__all__ = ["gantt_line", "gantt_chart", "cluster_gantt"]
+
+_GLYPHS = "0123456789abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ"
+
+
+def _glyph(job_id: int) -> str:
+    return _GLYPHS[job_id % len(_GLYPHS)]
+
+
+def gantt_line(schedule: Schedule, *, width: int = 72, t_end: float | None = None) -> str:
+    """One schedule as a single character row (``.`` = idle).
+
+    Each column shows the job occupying the column's *midpoint* instant; jobs
+    shorter than a column may not appear — enlarge ``width`` to zoom.
+    """
+    if width < 1:
+        raise ValueError(f"width must be >= 1, got {width}")
+    end = schedule.end_time if t_end is None else t_end
+    if end <= 0:
+        return "." * width
+    cells = []
+    for c in range(width):
+        t = (c + 0.5) / width * end
+        job = schedule.job_at(t)
+        cells.append("." if job is None else _glyph(job))
+    return "".join(cells)
+
+
+def gantt_chart(schedule: Schedule, *, width: int = 72) -> str:
+    """A single-machine Gantt chart with a time axis and a legend."""
+    end = schedule.end_time
+    line = gantt_line(schedule, width=width, t_end=end)
+    jobs = sorted({s.job_id for s in schedule if s.job_id is not None})
+    legend = "  ".join(f"{_glyph(j)}=job {j}" for j in jobs)
+    axis = f"0{' ' * (width - len(f'{end:.3g}') - 1)}{end:.3g}"
+    return "\n".join([line, axis, legend])
+
+
+def cluster_gantt(run: ClusterRun, *, width: int = 72) -> str:
+    """A machine-per-row Gantt chart for a parallel run (common time axis)."""
+    end = max((s.end_time for s in run.schedules.values()), default=0.0)
+    lines = []
+    for machine in range(run.machines):
+        sched = run.schedules.get(machine)
+        if sched is None:
+            row = "." * width
+        else:
+            row = gantt_line(sched, width=width, t_end=end)
+        lines.append(f"m{machine:<2d} |{row}|")
+    axis = " " * 5 + f"0{' ' * (width - len(f'{end:.3g}') - 1)}{end:.3g}"
+    lines.append(axis)
+    jobs = sorted(run.instance.job_ids)
+    if len(jobs) <= 24:
+        lines.append("     " + "  ".join(f"{_glyph(j)}=j{j}" for j in jobs))
+    return "\n".join(lines)

@@ -1,0 +1,115 @@
+"""Empirical competitive ratios.
+
+A measured ratio is ``algorithm cost / certified lower bound on OPT``; since
+the denominator never exceeds OPT, the measurement *upper-bounds* the
+instance's true ratio — a measured value below the paper's theoretical bound
+is consistent, above it would expose a bug.
+
+`run_algorithm` is the single entry point benches and tables use to run any
+of the package's schedulers by name with uniform semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..algorithms import (
+    convert,
+    simulate_active_count,
+    simulate_clairvoyant,
+    simulate_constant_speed_fifo,
+    simulate_nc_general,
+    simulate_nc_uniform,
+)
+from ..core.job import Instance
+from ..core.metrics import CostReport, evaluate
+from ..core.power import PowerLaw
+from ..offline.bounds import OptBound, opt_fractional_lower_bound, opt_integral_lower_bound
+
+__all__ = ["RatioResult", "run_algorithm", "empirical_ratio", "ALGORITHMS"]
+
+#: Names accepted by :func:`run_algorithm`.
+ALGORITHMS = (
+    "C",
+    "NC",
+    "NC_GENERAL",
+    "NC_INT",
+    "NC_GENERAL_INT",
+    "ACTIVE_COUNT",
+    "CONSTANT_SPEED",
+)
+
+
+@dataclass(frozen=True)
+class RatioResult:
+    """One measured competitive ratio."""
+
+    algorithm: str
+    objective: str  # "fractional" | "integral"
+    cost: float
+    bound: OptBound
+
+    @property
+    def ratio(self) -> float:
+        return self.cost / self.bound.value
+
+
+def run_algorithm(
+    name: str,
+    instance: Instance,
+    power: PowerLaw,
+    *,
+    max_step: float = 1e-2,
+    conversion_epsilon: float = 0.5,
+    constant_speed: float = 1.0,
+    **kwargs,
+) -> CostReport:
+    """Run a scheduler by name and return its exact cost report.
+
+    ``NC_INT`` / ``NC_GENERAL_INT`` apply the §5 black-box conversion (with
+    ``conversion_epsilon``) on top of the fractional algorithm and report the
+    *converted* schedule's costs.
+    """
+    if name == "C":
+        sched = simulate_clairvoyant(instance, power).schedule
+    elif name == "NC":
+        sched = simulate_nc_uniform(instance, power).schedule
+    elif name == "NC_GENERAL":
+        sched = simulate_nc_general(instance, power, max_step=max_step, **kwargs).schedule
+    elif name == "NC_INT":
+        base = simulate_nc_uniform(instance, power).schedule
+        return convert(base, instance, power, conversion_epsilon).integral_report
+    elif name == "NC_GENERAL_INT":
+        base = simulate_nc_general(instance, power, max_step=max_step, **kwargs).schedule
+        return convert(base, instance, power, conversion_epsilon).integral_report
+    elif name == "ACTIVE_COUNT":
+        sched = simulate_active_count(instance, power)
+    elif name == "CONSTANT_SPEED":
+        sched = simulate_constant_speed_fifo(instance, constant_speed)
+    else:
+        raise ValueError(f"unknown algorithm {name!r}; choose from {ALGORITHMS}")
+    return evaluate(sched, instance, power)
+
+
+def empirical_ratio(
+    name: str,
+    instance: Instance,
+    power: PowerLaw,
+    *,
+    objective: str = "fractional",
+    slots: int = 400,
+    iterations: int = 3000,
+    **run_kwargs,
+) -> RatioResult:
+    """Measured cost of ``name`` on ``instance`` over the best certified OPT
+    lower bound for the chosen objective."""
+    report = run_algorithm(name, instance, power, **run_kwargs)
+    if objective == "fractional":
+        cost = report.fractional_objective
+        bound = opt_fractional_lower_bound(instance, power, slots=slots, iterations=iterations)
+    elif objective == "integral":
+        cost = report.integral_objective
+        bound = opt_integral_lower_bound(instance, power, slots=slots, iterations=iterations)
+    else:
+        raise ValueError(f"objective must be 'fractional' or 'integral', got {objective!r}")
+    return RatioResult(algorithm=name, objective=objective, cost=cost, bound=bound)

@@ -1,0 +1,92 @@
+"""Plain-text rendering for benches: aligned tables and ASCII line charts.
+
+The benchmark harness prints the same rows/series the paper's tables and
+figures report; these helpers keep that output readable in a terminal and in
+the captured ``bench_output.txt``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["format_table", "format_ascii_chart"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    floatfmt: str = ".4g",
+    title: str | None = None,
+) -> str:
+    """Monospace table with per-column alignment (numbers right, text left)."""
+
+    def cell(v: object) -> str:
+        if isinstance(v, float):
+            return format(v, floatfmt)
+        return str(v)
+
+    grid = [[cell(v) for v in row] for row in rows]
+    widths = [
+        max(len(headers[c]), *(len(r[c]) for r in grid)) if grid else len(headers[c])
+        for c in range(len(headers))
+    ]
+
+    def fmt_row(cells: Sequence[str], values: Sequence[object] | None = None) -> str:
+        parts = []
+        for c, text in enumerate(cells):
+            is_num = values is not None and isinstance(values[c], (int, float))
+            parts.append(text.rjust(widths[c]) if is_num else text.ljust(widths[c]))
+        return "  ".join(parts).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(list(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row, src in zip(grid, rows):
+        lines.append(fmt_row(row, src))
+    return "\n".join(lines)
+
+
+def format_ascii_chart(
+    series: Sequence[tuple[str, Sequence[float], Sequence[float]]],
+    *,
+    width: int = 72,
+    height: int = 16,
+    title: str | None = None,
+) -> str:
+    """A quick ASCII line chart for bench output.
+
+    ``series`` is a list of ``(label, xs, ys)``; each series gets its own
+    glyph.  Axes are annotated with min/max.  This deliberately stays crude —
+    it documents curve *shape* (the reproduction target), not precise values.
+    """
+    glyphs = "*o+x#@%&"
+    xs_all = np.concatenate([np.asarray(x, dtype=float) for _, x, _ in series])
+    ys_all = np.concatenate([np.asarray(y, dtype=float) for _, _, y in series])
+    x0, x1 = float(xs_all.min()), float(xs_all.max())
+    y0, y1 = float(ys_all.min()), float(ys_all.max())
+    if x1 <= x0:
+        x1 = x0 + 1.0
+    if y1 <= y0:
+        y1 = y0 + 1.0
+    canvas = [[" "] * width for _ in range(height)]
+    for k, (_, xs, ys) in enumerate(series):
+        g = glyphs[k % len(glyphs)]
+        for x, y in zip(xs, ys):
+            cx = int((float(x) - x0) / (x1 - x0) * (width - 1))
+            cy = int((float(y) - y0) / (y1 - y0) * (height - 1))
+            canvas[height - 1 - cy][cx] = g
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"y: [{y0:.4g}, {y1:.4g}]")
+    lines.extend("|" + "".join(row) for row in canvas)
+    lines.append("+" + "-" * width)
+    lines.append(f"x: [{x0:.4g}, {x1:.4g}]")
+    legend = "   ".join(f"{glyphs[k % len(glyphs)]} {label}" for k, (label, _, _) in enumerate(series))
+    lines.append(legend)
+    return "\n".join(lines)

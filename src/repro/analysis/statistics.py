@@ -1,0 +1,94 @@
+"""Per-job performance statistics.
+
+Scheduling papers report distributional views as well as aggregates; this
+module derives them from a :class:`~repro.core.metrics.CostReport`:
+
+* **flow time** per job (``c_j − r_j``);
+* **slowdown** (a.k.a. stretch): flow time divided by the job's ideal
+  processing time at the instance-wide reference speed — the classic
+  fairness measure (a slowdown of 1 means the job was served as if alone on
+  a unit-speed machine of its own);
+* summary percentiles of both.
+
+The reference speed defaults to 1, making the ideal time simply the volume;
+pass ``reference_speed`` to compare against a provisioned-machine baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.job import Instance
+from ..core.metrics import CostReport
+
+__all__ = ["JobStats", "FleetStats", "job_statistics", "fleet_statistics"]
+
+
+@dataclass(frozen=True, slots=True)
+class JobStats:
+    job_id: int
+    flow_time: float
+    slowdown: float
+    weighted_flow: float
+
+
+@dataclass(frozen=True)
+class FleetStats:
+    """Distributional summary over all jobs of one schedule."""
+
+    jobs: tuple[JobStats, ...]
+
+    def _values(self, attr: str) -> np.ndarray:
+        return np.array([getattr(j, attr) for j in self.jobs])
+
+    def mean_flow(self) -> float:
+        return float(self._values("flow_time").mean())
+
+    def max_flow(self) -> float:
+        return float(self._values("flow_time").max())
+
+    def mean_slowdown(self) -> float:
+        return float(self._values("slowdown").mean())
+
+    def percentile_slowdown(self, q: float) -> float:
+        if not 0 <= q <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        return float(np.percentile(self._values("slowdown"), q))
+
+    def worst_jobs(self, n: int = 3) -> tuple[JobStats, ...]:
+        """The n jobs with the highest slowdown (ties by id)."""
+        ranked = sorted(self.jobs, key=lambda j: (-j.slowdown, j.job_id))
+        return tuple(ranked[:n])
+
+
+def job_statistics(
+    report: CostReport, instance: Instance, *, reference_speed: float = 1.0
+) -> FleetStats:
+    """Per-job flow and slowdown statistics for an evaluated schedule."""
+    if reference_speed <= 0:
+        raise ValueError(f"reference_speed must be > 0, got {reference_speed}")
+    jobs = []
+    for job in instance:
+        flow = report.completion_times[job.job_id] - job.release
+        ideal = job.volume / reference_speed
+        jobs.append(
+            JobStats(
+                job_id=job.job_id,
+                flow_time=flow,
+                slowdown=flow / ideal,
+                weighted_flow=report.integral_flow_by_job[job.job_id],
+            )
+        )
+    return FleetStats(jobs=tuple(jobs))
+
+
+def fleet_statistics(
+    reports: dict[str, CostReport], instance: Instance, *, reference_speed: float = 1.0
+) -> dict[str, FleetStats]:
+    """Statistics for several algorithms' reports on the same instance."""
+    return {
+        name: job_statistics(rep, instance, reference_speed=reference_speed)
+        for name, rep in reports.items()
+    }

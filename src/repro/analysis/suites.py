@@ -1,0 +1,58 @@
+"""Standard instance suites for tables and benches.
+
+One place defines which instances the empirical Table-1 ratios are measured
+over, so tests, benches and docs agree.  Suites are small enough to run in
+seconds yet cover the stress regimes: heavy-tailed volumes, bursts,
+staircases, and (for the non-uniform suite) spread-out density classes.
+"""
+
+from __future__ import annotations
+
+from ..core.job import Instance
+from ..workloads import (
+    burst_instance,
+    escalating_volumes_instance,
+    geometric_density_instance,
+    random_instance,
+    staircase_instance,
+)
+
+__all__ = ["uniform_suite", "nonuniform_suite"]
+
+
+def uniform_suite(*, n: int = 24, seeds: tuple[int, ...] = (1, 2, 3), alpha: float = 3.0) -> list[tuple[str, Instance]]:
+    """Unit-density instances for the §3 rows of Table 1."""
+    suite: list[tuple[str, Instance]] = []
+    for seed in seeds:
+        suite.append((f"poisson-exp[{seed}]", random_instance(n, seed, volume="exponential")))
+        suite.append((f"poisson-pareto[{seed}]", random_instance(n, 100 + seed, volume="pareto")))
+        suite.append((f"poisson-bimodal[{seed}]", random_instance(n, 200 + seed, volume="bimodal")))
+    suite.append(("burst", burst_instance(3, max(n // 3, 1), gap=4.0)))
+    suite.append(("staircase", staircase_instance(n, alpha=alpha)))
+    suite.append(("escalating", escalating_volumes_instance(min(n, 10))))
+    return suite
+
+
+def nonuniform_suite(
+    *, n: int = 8, seeds: tuple[int, ...] = (1, 2), alpha: float = 3.0, beta: float = 5.0
+) -> list[tuple[str, Instance]]:
+    """Non-uniform-density instances for the §4 rows of Table 1.
+
+    Kept small: Algorithm NC-general integrates numerically with a shadow
+    simulation per step.
+    """
+    suite: list[tuple[str, Instance]] = []
+    for seed in seeds:
+        suite.append(
+            (f"loguniform[{seed}]", random_instance(n, 300 + seed, volume="uniform", density="loguniform"))
+        )
+        suite.append(
+            (
+                f"powers[{seed}]",
+                random_instance(
+                    n, 400 + seed, volume="uniform", density="powers", density_params={"beta": beta}
+                ),
+            )
+        )
+    suite.append(("geometric", geometric_density_instance(min(n, 5), rho=beta, alpha=alpha)))
+    return suite

@@ -1,0 +1,65 @@
+"""Parameter sweeps: one API for "run X across a grid and tabulate".
+
+Benches and notebooks repeatedly want the same thing — vary one knob (alpha,
+eta, machine count, cap, workload scale), evaluate a callable at each value
+over a fixed set of seeds/instances, and keep the worst/mean statistics.
+:func:`sweep` does exactly that, returning typed points the report helpers
+render directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from statistics import mean
+from typing import Callable, Iterable, Sequence
+
+__all__ = ["SweepPoint", "sweep", "alpha_grid"]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """Aggregated measurements at one parameter value."""
+
+    value: float
+    samples: tuple[float, ...]
+
+    @property
+    def worst(self) -> float:
+        return max(self.samples)
+
+    @property
+    def best(self) -> float:
+        return min(self.samples)
+
+    @property
+    def mean(self) -> float:
+        return mean(self.samples)
+
+
+def sweep(
+    values: Iterable[float],
+    measure: Callable[[float], Sequence[float]],
+) -> list[SweepPoint]:
+    """Evaluate ``measure(value) -> samples`` at each grid value.
+
+    ``measure`` returns one number per repetition (seed/instance); empty
+    sample sets are rejected so statistics are always defined.
+    """
+    points = []
+    for v in values:
+        samples = tuple(float(s) for s in measure(v))
+        if not samples:
+            raise ValueError(f"measure returned no samples at value {v}")
+        points.append(SweepPoint(value=float(v), samples=samples))
+    return points
+
+
+def alpha_grid(
+    low: float = 1.5, high: float = 6.0, count: int = 7
+) -> tuple[float, ...]:
+    """A geometric-ish grid of power exponents covering the practical range
+    (alpha = 2..3 for CMOS; the ends probe the theory's limits)."""
+    if not (1.0 < low < high) or count < 2:
+        raise ValueError("need 1 < low < high and count >= 2")
+    step = (high / low) ** (1.0 / (count - 1))
+    return tuple(low * step**k for k in range(count))

@@ -1,0 +1,248 @@
+"""A structured checker for the paper's testable claims.
+
+`verify_paper_claims` runs every lemma/theorem of the paper that is checkable
+on a *given* instance and returns typed results — the programmatic companion
+to the test-suite (which asserts the same facts over random instances) and a
+convenient one-call health check for downstream users who modify the
+algorithms:
+
+>>> from repro.analysis import verify_paper_claims
+>>> results = verify_paper_claims(instance, PowerLaw(3.0))
+>>> assert all(r.holds for r in results)
+
+Claims checked (uniform-density instances check all of them; non-uniform
+instances check the subset that applies):
+
+* Theorem 1's identity — Algorithm C's fractional flow equals its energy;
+* Lemma 3 — energy(NC) == energy(C);
+* Lemma 4 — flow(NC) == flow(C) / (1 - 1/alpha);
+* Lemma 6 — equal schedule spans and matching speed distributions;
+* Lemma 8 — F_int(NC) <= (2 - 1/alpha) * F_frac(NC);
+* Theorem 5 / Theorem 9 — objective ratios vs a certified OPT lower bound;
+* Lemma 15 — the §5 conversion's energy and flow factors (at epsilon = 0.5);
+* Lemmas 20/21/22 — parallel-machine assignment/energy/flow relations
+  (checked at ``machines`` machines when > 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..algorithms import convert, simulate_clairvoyant, simulate_nc_uniform
+from ..core.job import Instance
+from ..core.metrics import evaluate
+from ..core.power import PowerLaw
+from ..offline.bounds import opt_fractional_lower_bound, opt_integral_lower_bound
+from .curves import speed_quantile_gap
+
+__all__ = ["ClaimCheck", "verify_paper_claims", "render_claims"]
+
+
+@dataclass(frozen=True)
+class ClaimCheck:
+    """Outcome of one claim verification."""
+
+    claim: str  # e.g. "Lemma 3"
+    statement: str
+    measured: float
+    expected: float
+    tolerance: float
+    kind: str  # "equality" | "upper-bound"
+
+    @property
+    def holds(self) -> bool:
+        if self.kind == "equality":
+            scale = max(abs(self.expected), 1e-12)
+            return abs(self.measured - self.expected) <= self.tolerance * scale
+        return self.measured <= self.expected * (1.0 + self.tolerance)
+
+    def __str__(self) -> str:
+        verdict = "OK " if self.holds else "FAIL"
+        rel = "==" if self.kind == "equality" else "<="
+        return (
+            f"[{verdict}] {self.claim}: {self.statement} — "
+            f"measured {self.measured:.6g} {rel} {self.expected:.6g}"
+        )
+
+
+def render_claims(checks: list[ClaimCheck]) -> str:
+    """Plain-text table of claim-check outcomes."""
+    from .report import format_table
+
+    rows = [
+        [
+            "OK" if c.holds else "FAIL",
+            c.claim,
+            c.statement,
+            c.measured,
+            "==" if c.kind == "equality" else "<=",
+            c.expected,
+        ]
+        for c in checks
+    ]
+    return format_table(
+        ["", "claim", "statement", "measured", "", "expected"], rows, floatfmt=".6g"
+    )
+
+
+def verify_paper_claims(
+    instance: Instance,
+    power: PowerLaw,
+    *,
+    machines: int = 1,
+    slots: int = 250,
+    iterations: int = 1000,
+    equality_tol: float = 1e-6,
+) -> list[ClaimCheck]:
+    """Check every applicable claim of the paper on ``instance``."""
+    alpha = power.alpha
+    checks: list[ClaimCheck] = []
+
+    c_run = simulate_clairvoyant(instance, power)
+    rep_c = evaluate(c_run.schedule, instance, power)
+    checks.append(
+        ClaimCheck(
+            claim="Theorem 1 (identity)",
+            statement="Algorithm C: fractional flow == energy",
+            measured=rep_c.fractional_flow,
+            expected=rep_c.energy,
+            tolerance=equality_tol,
+            kind="equality",
+        )
+    )
+
+    if instance.is_uniform_density():
+        nc_run = simulate_nc_uniform(instance, power)
+        rep_nc = evaluate(nc_run.schedule, instance, power)
+        checks.append(
+            ClaimCheck(
+                claim="Lemma 3",
+                statement="energy(NC) == energy(C)",
+                measured=rep_nc.energy,
+                expected=rep_c.energy,
+                tolerance=equality_tol,
+                kind="equality",
+            )
+        )
+        checks.append(
+            ClaimCheck(
+                claim="Lemma 4",
+                statement="flow(NC) == flow(C) / (1 - 1/alpha)",
+                measured=rep_nc.fractional_flow,
+                expected=rep_c.fractional_flow / (1 - 1 / alpha),
+                tolerance=equality_tol,
+                kind="equality",
+            )
+        )
+        checks.append(
+            ClaimCheck(
+                claim="Lemma 6 (span)",
+                statement="schedules of NC and C span equal time",
+                measured=nc_run.schedule.end_time,
+                expected=c_run.schedule.end_time,
+                tolerance=equality_tol,
+                kind="equality",
+            )
+        )
+        checks.append(
+            ClaimCheck(
+                claim="Lemma 6 (speeds)",
+                statement="speed distribution gap of NC vs C stays at sampling noise",
+                measured=speed_quantile_gap(nc_run.schedule, c_run.schedule),
+                expected=5e-3,
+                tolerance=0.0,
+                kind="upper-bound",
+            )
+        )
+        checks.append(
+            ClaimCheck(
+                claim="Lemma 8",
+                statement="F_int(NC) <= (2 - 1/alpha) * F_frac(NC)",
+                measured=rep_nc.integral_flow,
+                expected=(2 - 1 / alpha) * rep_nc.fractional_flow,
+                tolerance=1e-9,
+                kind="upper-bound",
+            )
+        )
+        lb_f = opt_fractional_lower_bound(instance, power, slots=slots, iterations=iterations)
+        checks.append(
+            ClaimCheck(
+                claim="Theorem 5",
+                statement="NC fractional ratio <= 2 + 1/(alpha-1)",
+                measured=rep_nc.fractional_objective / lb_f.value,
+                expected=2 + 1 / (alpha - 1),
+                tolerance=1e-9,
+                kind="upper-bound",
+            )
+        )
+        lb_i = opt_integral_lower_bound(instance, power, slots=slots, iterations=iterations)
+        checks.append(
+            ClaimCheck(
+                claim="Theorem 9",
+                statement="NC integral ratio <= 3 + 1/(alpha-1)",
+                measured=rep_nc.integral_objective / lb_i.value,
+                expected=3 + 1 / (alpha - 1),
+                tolerance=1e-9,
+                kind="upper-bound",
+            )
+        )
+        eps = 0.5
+        conv = convert(nc_run.schedule, instance, power, eps)
+        checks.append(
+            ClaimCheck(
+                claim="Lemma 15 (energy)",
+                statement="energy(A_int) <= (1+eps)^alpha * energy(A_frac)",
+                measured=conv.integral_report.energy,
+                expected=(1 + eps) ** alpha * conv.fractional_report.energy,
+                tolerance=1e-9,
+                kind="upper-bound",
+            )
+        )
+        checks.append(
+            ClaimCheck(
+                claim="Lemma 15 (flow)",
+                statement="F_int(A_int) <= (1 + 1/eps) * F_frac(A_frac)",
+                measured=conv.integral_report.integral_flow,
+                expected=(1 + 1 / eps) * conv.fractional_report.fractional_flow,
+                tolerance=1e-9,
+                kind="upper-bound",
+            )
+        )
+
+        if machines > 1:
+            from ..parallel import simulate_c_par, simulate_nc_par
+
+            cp = simulate_c_par(instance, power, machines)
+            np_ = simulate_nc_par(instance, power, machines)
+            rep_cp, rep_np = cp.report(), np_.report()
+            checks.append(
+                ClaimCheck(
+                    claim="Lemma 20",
+                    statement="NC-PAR and C-PAR assignments coincide (1 = yes)",
+                    measured=1.0 if np_.assignments == cp.assignments else 0.0,
+                    expected=1.0,
+                    tolerance=0.0,
+                    kind="equality",
+                )
+            )
+            checks.append(
+                ClaimCheck(
+                    claim="Lemma 21",
+                    statement="energy(NC-PAR) == energy(C-PAR)",
+                    measured=rep_np.energy,
+                    expected=rep_cp.energy,
+                    tolerance=equality_tol,
+                    kind="equality",
+                )
+            )
+            checks.append(
+                ClaimCheck(
+                    claim="Lemma 22",
+                    statement="flow(NC-PAR) == flow(C-PAR) / (1 - 1/alpha)",
+                    measured=rep_np.fractional_flow,
+                    expected=rep_cp.fractional_flow / (1 - 1 / alpha),
+                    tolerance=equality_tol,
+                    kind="equality",
+                )
+            )
+    return checks

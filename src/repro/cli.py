@@ -1,0 +1,258 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``run``          — run one algorithm on a generated workload, print costs.
+* ``ratio``        — the same plus a certified empirical competitive ratio.
+* ``table1``       — regenerate the paper's Table 1.
+* ``figures``      — regenerate the Figure 1/2 curves as ASCII charts.
+* ``lower-bound``  — the §6 immediate-dispatch adversary, swept over k.
+* ``cluster``      — NC-PAR vs C-PAR on a generated workload.
+
+Every command accepts ``--seed`` and ``--alpha`` so results are exactly
+reproducible.  The CLI builds only on the public API — it doubles as an
+integration test surface (see ``tests/test_cli.py``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from . import PowerLaw
+from .analysis import (
+    build_table1,
+    empirical_ratio,
+    format_ascii_chart,
+    format_table,
+    power_curve,
+    render_table1,
+    run_algorithm,
+)
+from .analysis.ratios import ALGORITHMS
+from .core.job import Instance, Job
+from .workloads import random_instance
+
+__all__ = ["main", "build_parser"]
+
+
+def _workload(args: argparse.Namespace) -> Instance:
+    return random_instance(
+        args.jobs,
+        args.seed,
+        rate=args.rate,
+        volume=args.volumes,
+        density=args.densities,
+    )
+
+
+def _add_workload_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--jobs", type=int, default=20, help="number of jobs")
+    p.add_argument("--seed", type=int, default=1, help="workload RNG seed")
+    p.add_argument("--rate", type=float, default=1.0, help="Poisson arrival rate")
+    p.add_argument(
+        "--volumes",
+        default="exponential",
+        choices=["exponential", "pareto", "uniform", "bimodal"],
+        help="volume distribution",
+    )
+    p.add_argument(
+        "--densities",
+        default="unit",
+        choices=["unit", "loguniform", "powers"],
+        help="density model",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Speed Scaling in the Non-clairvoyant Model (SPAA 2015) — reproduction CLI",
+    )
+    parser.add_argument("--alpha", type=float, default=3.0, help="power exponent (P = s^alpha)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="run one algorithm on a generated workload")
+    p_run.add_argument("--algorithm", default="NC", choices=list(ALGORITHMS))
+    p_run.add_argument("--max-step", type=float, default=2e-2, help="engine step (NC_GENERAL)")
+    _add_workload_args(p_run)
+
+    p_ratio = sub.add_parser("ratio", help="empirical competitive ratio vs certified OPT bound")
+    p_ratio.add_argument("--algorithm", default="NC", choices=list(ALGORITHMS))
+    p_ratio.add_argument("--objective", default="fractional", choices=["fractional", "integral"])
+    p_ratio.add_argument("--max-step", type=float, default=2e-2)
+    _add_workload_args(p_ratio)
+
+    p_t1 = sub.add_parser("table1", help="regenerate the paper's Table 1")
+    p_t1.add_argument("--uniform-jobs", type=int, default=16)
+    p_t1.add_argument("--nonuniform-jobs", type=int, default=6)
+    p_t1.add_argument("--seeds", type=int, nargs="+", default=[1, 2])
+
+    p_fig = sub.add_parser("figures", help="regenerate the Figure 1 power curves")
+    p_fig.add_argument("--weight", type=float, default=4.0, help="single-job weight")
+
+    p_lb = sub.add_parser("lower-bound", help="the §6 immediate-dispatch adversary")
+    p_lb.add_argument("--machines", type=int, nargs="+", default=[2, 4, 8, 16])
+    p_lb.add_argument("--rule", default="least_count", choices=["least_count", "round_robin"])
+
+    p_cl = sub.add_parser("cluster", help="NC-PAR vs C-PAR on a generated workload")
+    p_cl.add_argument("--machines", type=int, default=4)
+    _add_workload_args(p_cl)
+
+    p_opt = sub.add_parser("opt", help="bracket the offline optimum [dual LB, rounded UB]")
+    p_opt.add_argument("--slots", type=int, default=400)
+    p_opt.add_argument("--iterations", type=int, default=2000)
+    _add_workload_args(p_opt)
+
+    p_ver = sub.add_parser("verify", help="check every testable paper claim on a workload")
+    p_ver.add_argument("--machines", type=int, default=1)
+    _add_workload_args(p_ver)
+
+    return parser
+
+
+def _cmd_run(args: argparse.Namespace) -> str:
+    power = PowerLaw(args.alpha)
+    inst = _workload(args)
+    rep = run_algorithm(args.algorithm, inst, power, max_step=args.max_step)
+    rows = [
+        ["energy", rep.energy],
+        ["fractional flow", rep.fractional_flow],
+        ["integral flow", rep.integral_flow],
+        ["G_frac", rep.fractional_objective],
+        ["G_int", rep.integral_objective],
+        ["makespan", rep.makespan],
+    ]
+    return format_table(
+        ["quantity", "value"],
+        rows,
+        title=f"{args.algorithm} on {len(inst)} jobs (seed {args.seed}, alpha {args.alpha:g})",
+        floatfmt=".6g",
+    )
+
+
+def _cmd_ratio(args: argparse.Namespace) -> str:
+    power = PowerLaw(args.alpha)
+    inst = _workload(args)
+    res = empirical_ratio(
+        args.algorithm, inst, power, objective=args.objective, max_step=args.max_step
+    )
+    return format_table(
+        ["algorithm", "objective", "cost", "OPT lower bound", "ratio", "bound source"],
+        [[res.algorithm, res.objective, res.cost, res.bound.value, res.ratio, res.bound.source]],
+        floatfmt=".5g",
+    )
+
+
+def _cmd_table1(args: argparse.Namespace) -> str:
+    rows = build_table1(
+        args.alpha,
+        uniform_n=args.uniform_jobs,
+        nonuniform_n=args.nonuniform_jobs,
+        seeds=tuple(args.seeds),
+    )
+    return render_table1(rows, args.alpha)
+
+
+def _cmd_figures(args: argparse.Namespace) -> str:
+    from .algorithms import simulate_clairvoyant, simulate_nc_uniform
+
+    power = PowerLaw(args.alpha)
+    inst = Instance([Job(0, 0.0, args.weight, 1.0)])
+    c = power_curve(simulate_clairvoyant(inst, power).schedule, power, samples=72, label="C")
+    nc = power_curve(simulate_nc_uniform(inst, power).schedule, power, samples=72, label="NC")
+    return format_ascii_chart(
+        [(c.label, c.times, c.values), (nc.label, nc.times, nc.values)],
+        title=f"Figure 1 — power vs time, single job W = {args.weight:g}, alpha = {args.alpha:g}",
+    )
+
+
+def _cmd_lower_bound(args: argparse.Namespace) -> str:
+    from .parallel import adversarial_ratio
+
+    power = PowerLaw(args.alpha)
+    rows = []
+    for k in args.machines:
+        out = adversarial_ratio(k, power, args.rule)
+        rows.append([k, out.ratio, k ** (1 - 1 / args.alpha)])
+    return format_table(
+        ["k", "adversarial ratio", "k^(1-1/alpha)"],
+        rows,
+        title=f"§6 lower bound vs {args.rule} (alpha = {args.alpha:g})",
+        floatfmt=".4f",
+    )
+
+
+def _cmd_cluster(args: argparse.Namespace) -> str:
+    from .parallel import simulate_c_par, simulate_nc_par
+
+    power = PowerLaw(args.alpha)
+    inst = _workload(args)
+    if not inst.is_uniform_density():
+        raise SystemExit("cluster command requires a uniform-density workload (--densities unit)")
+    nc = simulate_nc_par(inst, power, args.machines)
+    c = simulate_c_par(inst, power, args.machines)
+    rn, rc = nc.report(), c.report()
+    rows = [
+        ["NC-PAR", rn.energy, rn.fractional_flow, rn.fractional_objective],
+        ["C-PAR", rc.energy, rc.fractional_flow, rc.fractional_objective],
+    ]
+    table = format_table(
+        ["algorithm", "energy", "frac flow", "G_frac"],
+        rows,
+        title=f"{args.machines} machines, {len(inst)} jobs "
+        f"(Lemma 20 assignments equal: {nc.assignments == c.assignments})",
+        floatfmt=".5g",
+    )
+    return table
+
+
+def _cmd_opt(args: argparse.Namespace) -> str:
+    from .core.metrics import evaluate
+    from .offline.convex import fractional_lower_bound, schedule_from_bound
+
+    power = PowerLaw(args.alpha)
+    inst = _workload(args)
+    cb = fractional_lower_bound(inst, power, slots=args.slots, iterations=args.iterations)
+    upper = evaluate(schedule_from_bound(inst, cb), inst, power).fractional_objective
+    gap = (upper - cb.dual_value) / upper if upper else 0.0
+    return format_table(
+        ["certified lower bound", "rounded-schedule upper bound", "relative gap"],
+        [[cb.dual_value, upper, gap]],
+        title=f"offline fractional optimum bracket ({len(inst)} jobs, seed {args.seed})",
+        floatfmt=".6g",
+    )
+
+
+def _cmd_verify(args: argparse.Namespace) -> str:
+    from .analysis.verification import render_claims, verify_paper_claims
+
+    power = PowerLaw(args.alpha)
+    inst = _workload(args)
+    checks = verify_paper_claims(inst, power, machines=args.machines)
+    table = render_claims(checks)
+    verdict = "ALL CLAIMS HOLD" if all(c.holds for c in checks) else "SOME CLAIMS FAILED"
+    return table + f"\n\n{verdict} ({sum(c.holds for c in checks)}/{len(checks)})"
+
+
+_DISPATCH = {
+    "run": _cmd_run,
+    "opt": _cmd_opt,
+    "verify": _cmd_verify,
+    "ratio": _cmd_ratio,
+    "table1": _cmd_table1,
+    "figures": _cmd_figures,
+    "lower-bound": _cmd_lower_bound,
+    "cluster": _cmd_cluster,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    print(_DISPATCH[args.command](args))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,208 @@
+"""Generic numeric single-machine simulation engine.
+
+The analytic simulators in :mod:`repro.algorithms` integrate the scheduling
+dynamics in closed form, but only for ``P(s) = s**alpha`` and only for speed
+rules whose dynamics reduce to the two kernels.  This engine is the general
+path: it drives any :class:`SchedulingPolicy` with a midpoint (RK2) integrator
+and event detection for releases and completions, emitting fine
+:class:`~repro.core.schedule.ConstantSegment` s.
+
+It serves two roles:
+
+1. it runs algorithms with no closed form (Algorithm NC for non-uniform
+   densities, §4, and arbitrary power functions), and
+2. it cross-validates the analytic simulators — property tests drive
+   Algorithm C through both paths and require agreement, guarding against
+   algebra slips in the closed forms.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from .errors import SimulationError
+from .job import Instance
+from .oracle import VolumeOracle
+from .power import PowerFunction
+from .schedule import ConstantSegment, Schedule, ScheduleBuilder
+
+__all__ = ["SchedulingPolicy", "EngineResult", "NumericEngine"]
+
+#: Engine gives up if the machine makes no progress for this much simulated
+#: time while jobs are active (a policy running at speed 0 forever).
+_STALL_LIMIT_STEPS = 200_000
+
+
+class SchedulingPolicy(ABC):
+    """Callbacks a scheduling algorithm implements to run on the engine.
+
+    The engine guarantees:
+
+    * ``on_release`` is called in (release, job_id) order, before any query at
+      or after that time;
+    * ``on_completion`` is called the moment a job's processed volume reaches
+      its true volume (the engine learns this from the oracle; the policy
+      receives the now-revealed volume);
+    * ``select_job`` / ``speed`` are called with monotonically non-decreasing
+      times and reflect the policy's current view.
+    """
+
+    @abstractmethod
+    def on_release(self, t: float, job_id: int, density: float) -> None: ...
+
+    @abstractmethod
+    def on_completion(self, t: float, job_id: int, volume: float) -> None: ...
+
+    @abstractmethod
+    def select_job(self, t: float) -> int | None:
+        """The job to run at time ``t`` (``None`` = idle)."""
+
+    @abstractmethod
+    def speed(self, t: float, processed: dict[int, float]) -> float:
+        """Machine speed at time ``t`` given per-job processed volumes."""
+
+
+@dataclass(frozen=True)
+class EngineResult:
+    schedule: Schedule
+    oracle: VolumeOracle
+    steps: int
+
+
+class NumericEngine:
+    """Fixed-max-step RK2 integrator with release/completion event handling.
+
+    ``max_step`` bounds the local truncation error; completions within a step
+    are located assuming the midpoint speed holds across the step (error
+    ``O(max_step**2)`` per event, matching the integrator order).
+
+    After every event (release or completion) the step size restarts at
+    ``min_step`` and doubles each step up to ``max_step``.  This geometric
+    ramp costs only ``log2(max_step/min_step)`` extra steps per event but is
+    essential for stiff bootstraps: Algorithm NC-general's ``epsilon`` rule
+    ignites its shadow simulation inside an ``O(epsilon**2)`` window after a
+    release, which a fixed ``max_step`` would overshoot entirely (the run
+    would then crawl at speed ``epsilon`` forever).
+    """
+
+    def __init__(
+        self, power: PowerFunction, max_step: float = 1e-2, min_step: float = 1e-14
+    ) -> None:
+        if max_step <= 0:
+            raise ValueError(f"max_step must be positive, got {max_step}")
+        if not 0 < min_step <= max_step:
+            raise ValueError(f"need 0 < min_step <= max_step, got {min_step}")
+        self.power = power
+        self.max_step = max_step
+        self.min_step = min_step
+
+    def run(self, instance: Instance, policy: SchedulingPolicy) -> EngineResult:
+        oracle = VolumeOracle(instance)
+        releases = list(oracle.releases())  # FIFO order
+        next_release = 0
+        processed: dict[int, float] = {}
+        active: set[int] = set()
+        builder = ScheduleBuilder()
+        t = 0.0
+        t_phase = 0.0  # time of the last event; the step ramp restarts here
+        steps = 0
+        stall = 0
+
+        def fire_releases(now: float) -> None:
+            nonlocal next_release, t_phase
+            while next_release < len(releases) and releases[next_release].release <= now + 1e-15:
+                info = releases[next_release]
+                processed[info.job_id] = 0.0
+                active.add(info.job_id)
+                policy.on_release(info.release, info.job_id, info.density)
+                next_release += 1
+                t_phase = now
+
+        fire_releases(t)
+        while active or next_release < len(releases):
+            steps += 1
+            if steps > _STALL_LIMIT_STEPS + len(releases):
+                raise SimulationError(
+                    f"engine exceeded {steps} steps at t={t}; "
+                    "policy likely stalled at zero speed"
+                )
+            if not active:
+                # Idle until the next release.
+                t_next = releases[next_release].release
+                builder.append(ConstantSegment(t, t_next, None, 0.0))
+                t = t_next
+                fire_releases(t)
+                continue
+
+            job_id = policy.select_job(t)
+            horizon = (
+                releases[next_release].release if next_release < len(releases) else math.inf
+            )
+            if job_id is None:
+                # Policy idles despite active jobs (legal, e.g. A_int).
+                t_next = min(horizon, t + self.max_step)
+                if not math.isfinite(t_next):
+                    raise SimulationError(f"policy idles forever with active jobs at t={t}")
+                builder.append(ConstantSegment(t, t_next, None, 0.0))
+                t = t_next
+                fire_releases(t)
+                continue
+            if job_id not in active:
+                raise SimulationError(f"policy selected inactive job {job_id} at t={t}")
+
+            # Geometric step ramp: restart small after each event, double up
+            # to max_step.  The floor respects float resolution at large t.
+            floor = max(self.min_step, 32.0 * math.ulp(max(1.0, t)))
+            h = min(self.max_step, max(floor, t - t_phase))
+            if math.isfinite(horizon):
+                h = min(h, horizon - t)
+            if h <= 0:
+                fire_releases(t)
+                continue
+
+            # RK2 midpoint: probe speed, re-evaluate at the midpoint state.
+            # The probe is clamped to the job's true volume so a coarse step
+            # near completion cannot present the policy with an overshot state.
+            true_volume = oracle._true_volume(job_id)
+            s0 = policy.speed(t, processed)
+            probe = dict(processed)
+            probe[job_id] = min(processed[job_id] + s0 * h / 2.0, true_volume)
+            s_mid = policy.speed(t + h / 2.0, probe)
+            if s_mid < 0 or not math.isfinite(s_mid):
+                raise SimulationError(f"policy returned invalid speed {s_mid} at t={t}")
+            if s_mid <= 0.0 < s0:
+                # The half-step probe already finished the job, so the
+                # midpoint sees an empty machine; the step straddles the
+                # completion.  Fall back to the start-of-step speed — the
+                # completion cut below then lands within O(h^2) of the truth.
+                s_mid = s0
+            if s_mid <= 0:
+                stall += 1
+                if stall > _STALL_LIMIT_STEPS:
+                    raise SimulationError(f"policy stalled at zero speed near t={t}")
+                builder.append(ConstantSegment(t, t + h, None, 0.0))
+                t += h
+                fire_releases(t)
+                continue
+            stall = 0
+
+            room = true_volume - processed[job_id]
+            if s_mid * h >= room - 1e-15 * max(1.0, true_volume):
+                # Completion inside this step: cut the step at the crossing.
+                dt = room / s_mid
+                builder.append(ConstantSegment(t, t + dt, job_id, s_mid))
+                processed[job_id] = true_volume
+                t += dt
+                t_phase = t
+                active.discard(job_id)
+                oracle._mark_completed(job_id)
+                policy.on_completion(t, job_id, true_volume)
+            else:
+                builder.append(ConstantSegment(t, t + h, job_id, s_mid))
+                processed[job_id] += s_mid * h
+                t += h
+            fire_releases(t)
+
+        return EngineResult(schedule=builder.build(), oracle=oracle, steps=steps)

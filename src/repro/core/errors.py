@@ -1,0 +1,46 @@
+"""Exception hierarchy for the repro package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch package failures with a single ``except`` clause while still letting
+programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "InvalidInstanceError",
+    "InvalidPowerFunctionError",
+    "ScheduleError",
+    "ClairvoyanceViolationError",
+    "SimulationError",
+    "ConvergenceError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class InvalidInstanceError(ReproError):
+    """An instance (set of jobs) failed validation."""
+
+
+class InvalidPowerFunctionError(ReproError):
+    """A power function failed validation (non-convex, decreasing, ...)."""
+
+
+class ScheduleError(ReproError):
+    """A schedule is malformed or inconsistent with its instance."""
+
+
+class ClairvoyanceViolationError(ReproError):
+    """A non-clairvoyant algorithm attempted to read a hidden job volume."""
+
+
+class SimulationError(ReproError):
+    """The simulation engine reached an inconsistent state."""
+
+
+class ConvergenceError(ReproError):
+    """An iterative numerical routine failed to converge."""

@@ -1,0 +1,154 @@
+"""Jobs and problem instances.
+
+An :class:`Instance` is the offline truth: every job's release time, volume
+and density.  Algorithms never receive an ``Instance`` directly — clairvoyant
+algorithms get it wrapped so the types make the information model explicit,
+and non-clairvoyant algorithms only see it through the
+:class:`~repro.core.oracle.VolumeOracle`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+from .errors import InvalidInstanceError
+
+__all__ = ["Job", "Instance"]
+
+
+@dataclass(frozen=True, slots=True)
+class Job:
+    """A single job: released at ``release``, needs ``volume`` units of
+    processing, and pays flow-time at rate ``density`` per unit of remaining
+    volume (weight = ``density * volume``).
+
+    ``job_id`` is the identity used everywhere (schedules, metrics, oracles);
+    it must be unique within an instance.
+    """
+
+    job_id: int
+    release: float
+    volume: float
+    density: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.release < 0 or not math.isfinite(self.release):
+            raise InvalidInstanceError(f"job {self.job_id}: release must be finite >= 0, got {self.release}")
+        if self.volume <= 0 or not math.isfinite(self.volume):
+            raise InvalidInstanceError(f"job {self.job_id}: volume must be finite > 0, got {self.volume}")
+        if self.density <= 0 or not math.isfinite(self.density):
+            raise InvalidInstanceError(f"job {self.job_id}: density must be finite > 0, got {self.density}")
+
+    @property
+    def weight(self) -> float:
+        """``W[j] = rho[j] * V[j]`` — the flow-time weight of the job."""
+        return self.density * self.volume
+
+    def with_volume(self, volume: float) -> "Job":
+        """A copy of this job with a different volume (same id/release/density)."""
+        return Job(self.job_id, self.release, volume, self.density)
+
+    def with_density(self, density: float) -> "Job":
+        """A copy of this job with a different density."""
+        return Job(self.job_id, self.release, self.volume, density)
+
+
+@dataclass(frozen=True)
+class Instance:
+    """An immutable, validated set of jobs sorted by (release, job_id).
+
+    Iteration order is release order, which is also the FIFO order used by the
+    non-clairvoyant algorithms (ties broken by ``job_id``, standing in for the
+    paper's w.l.o.g. assumption of distinct release times).
+    """
+
+    jobs: tuple[Job, ...]
+    _by_id: dict[int, Job] = field(repr=False, compare=False, default_factory=dict)
+
+    def __init__(self, jobs: Iterable[Job]) -> None:
+        ordered = tuple(sorted(jobs, key=lambda j: (j.release, j.job_id)))
+        if not ordered:
+            raise InvalidInstanceError("an instance must contain at least one job")
+        ids = [j.job_id for j in ordered]
+        if len(set(ids)) != len(ids):
+            dup = sorted({i for i in ids if ids.count(i) > 1})
+            raise InvalidInstanceError(f"duplicate job ids: {dup}")
+        object.__setattr__(self, "jobs", ordered)
+        object.__setattr__(self, "_by_id", {j.job_id: j for j in ordered})
+
+    # -- container protocol -------------------------------------------------
+
+    def __iter__(self) -> Iterator[Job]:
+        return iter(self.jobs)
+
+    def __len__(self) -> int:
+        return len(self.jobs)
+
+    def __getitem__(self, job_id: int) -> Job:
+        try:
+            return self._by_id[job_id]
+        except KeyError:
+            raise KeyError(f"no job with id {job_id}") from None
+
+    def __contains__(self, job_id: int) -> bool:
+        return job_id in self._by_id
+
+    # -- derived quantities --------------------------------------------------
+
+    @property
+    def job_ids(self) -> tuple[int, ...]:
+        return tuple(j.job_id for j in self.jobs)
+
+    @property
+    def total_volume(self) -> float:
+        return sum(j.volume for j in self.jobs)
+
+    @property
+    def total_weight(self) -> float:
+        return sum(j.weight for j in self.jobs)
+
+    @property
+    def max_release(self) -> float:
+        return max(j.release for j in self.jobs)
+
+    def is_uniform_density(self, rel_tol: float = 1e-12) -> bool:
+        """True when all jobs share one density (the §3 setting)."""
+        first = self.jobs[0].density
+        return all(math.isclose(j.density, first, rel_tol=rel_tol) for j in self.jobs)
+
+    # -- transformations -----------------------------------------------------
+
+    def released_before(self, time: float, strict: bool = True) -> "Instance | None":
+        """The prefix sub-instance of jobs released before ``time``.
+
+        Returns ``None`` when the prefix is empty.  This is the instance
+        Algorithm NC knows when a job released at ``time`` starts processing.
+        """
+        if strict:
+            picked = [j for j in self.jobs if j.release < time]
+        else:
+            picked = [j for j in self.jobs if j.release <= time]
+        return Instance(picked) if picked else None
+
+    def with_volumes(self, volumes: dict[int, float]) -> "Instance | None":
+        """An instance with overridden volumes; jobs mapped to ``<= 0`` are
+        dropped.  Used to build the paper's *current instance* ``I(t)`` whose
+        weights are the amounts the non-clairvoyant algorithm has processed.
+        """
+        out = []
+        for j in self.jobs:
+            v = volumes.get(j.job_id, j.volume)
+            if v > 0:
+                out.append(j.with_volume(v))
+        return Instance(out) if out else None
+
+    def with_densities(self, densities: dict[int, float]) -> "Instance":
+        """An instance with overridden densities (e.g. rounded to powers of β)."""
+        return Instance(j.with_density(densities.get(j.job_id, j.density)) for j in self.jobs)
+
+    def subset(self, job_ids: Sequence[int]) -> "Instance | None":
+        wanted = set(job_ids)
+        picked = [j for j in self.jobs if j.job_id in wanted]
+        return Instance(picked) if picked else None

@@ -1,0 +1,179 @@
+"""Closed-form kernels for the ``P(s) = s**alpha`` weight dynamics.
+
+Both algorithms in the paper set the machine speed from a *weight-like*
+quantity ``X`` through the power-equals-weight rule ``P(s) = X``, i.e.
+``s = X**(1/alpha)``.  While a single job of density ``rho`` is being
+processed, ``X`` then obeys one of two autonomous ODEs:
+
+* **decay** (Algorithm C; ``X`` = remaining weight):   ``dX/dt = -rho * X**(1/alpha)``
+* **growth** (Algorithm NC; ``X`` = offset + processed weight): ``dX/dt = +rho * X**(1/alpha)``
+
+With ``beta = 1 - 1/alpha`` both have the closed form ``X(t)**beta = X(0)**beta
+∓ rho*beta*t`` — ``X**beta`` is *linear in time*.  Every function below is an
+exact consequence of that linearity; the simulators lean on them to advance
+between scheduler events in one step and to integrate energy and fractional
+flow-time to machine precision.
+
+All functions take ``alpha`` explicitly rather than a :class:`PowerLaw` to keep
+this module dependency-free and trivially testable against numeric quadrature.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "beta_of",
+    "speed_at",
+    "decay_weight_after",
+    "decay_time_between",
+    "decay_time_to_zero",
+    "decay_energy_between",
+    "decay_flow_integral",
+    "growth_weight_after",
+    "growth_time_between",
+    "growth_energy_between",
+    "growth_flow_integral",
+]
+
+
+def beta_of(alpha: float) -> float:
+    """The exponent ``beta = 1 - 1/alpha`` governing the linearised dynamics."""
+    if not alpha > 1.0:
+        raise ValueError(f"alpha must exceed 1, got {alpha}")
+    return 1.0 - 1.0 / alpha
+
+
+def speed_at(weight: float, alpha: float) -> float:
+    """Speed from the power-equals-weight rule: ``s = weight**(1/alpha)``."""
+    if weight < 0:
+        raise ValueError(f"weight must be non-negative, got {weight}")
+    return weight ** (1.0 / alpha)
+
+
+# ---------------------------------------------------------------------------
+# Decay dynamics: dX/dt = -rho * X**(1/alpha)   (Algorithm C)
+# ---------------------------------------------------------------------------
+
+
+def decay_weight_after(w0: float, rho: float, t: float, alpha: float) -> float:
+    """Remaining weight after time ``t`` of decay starting from ``w0``.
+
+    ``X(t) = (w0**beta - rho*beta*t)**(1/beta)``; returns 0 once the weight is
+    exhausted (at ``t == decay_time_to_zero(w0, rho, alpha)``).
+    """
+    _check(w0, rho, t)
+    beta = beta_of(alpha)
+    base = w0**beta - rho * beta * t
+    if base <= 0.0:
+        return 0.0
+    return base ** (1.0 / beta)
+
+
+def decay_time_between(w0: float, w1: float, rho: float, alpha: float) -> float:
+    """Time for the decay to fall from weight ``w0`` to ``w1 <= w0``."""
+    _check(w0, rho)
+    if not 0.0 <= w1 <= w0 * (1 + 1e-12):
+        raise ValueError(f"need 0 <= w1 <= w0, got w1={w1}, w0={w0}")
+    beta = beta_of(alpha)
+    return max(0.0, (w0**beta - w1**beta) / (rho * beta))
+
+
+def decay_time_to_zero(w0: float, rho: float, alpha: float) -> float:
+    """Time for the decay to exhaust weight ``w0`` entirely.
+
+    Finite for every ``alpha > 1`` — the power-equals-weight rule always
+    finishes in bounded time (unlike exponential decay).
+    """
+    return decay_time_between(w0, 0.0, rho, alpha)
+
+
+def decay_energy_between(w0: float, w1: float, rho: float, alpha: float) -> float:
+    """Energy consumed while the decay falls from ``w0`` to ``w1``.
+
+    Under ``P(s) = X`` the energy is ``∫ X dt``; substituting ``dt = dX /
+    (rho X**(1/alpha))`` gives the exact value
+    ``(w0**(1+beta) - w1**(1+beta)) / (rho * (1+beta))``.
+    """
+    _check(w0, rho)
+    if not 0.0 <= w1 <= w0 * (1 + 1e-12):
+        raise ValueError(f"need 0 <= w1 <= w0, got w1={w1}, w0={w0}")
+    beta = beta_of(alpha)
+    return max(0.0, (w0 ** (1.0 + beta) - w1 ** (1.0 + beta)) / (rho * (1.0 + beta)))
+
+
+def decay_flow_integral(w0: float, rho: float, tau: float, alpha: float) -> float:
+    """``∫_0^tau processed_volume(t) dt`` for a decay segment of length ``tau``.
+
+    The volume processed by time ``t`` is ``(w0 - X(t)) / rho`` (weight drops
+    at ``rho`` per unit volume), so the integral equals
+    ``(w0*tau - ∫_0^tau X dt) / rho`` and ``∫ X dt`` is exactly the segment
+    energy.  Used for exact fractional flow-time accounting.
+    """
+    _check(w0, rho, tau)
+    w_end = decay_weight_after(w0, rho, tau, alpha)
+    energy = decay_energy_between(w0, w_end, rho, alpha)
+    return (w0 * tau - energy) / rho
+
+
+# ---------------------------------------------------------------------------
+# Growth dynamics: dX/dt = +rho * X**(1/alpha)   (Algorithm NC)
+# ---------------------------------------------------------------------------
+
+
+def growth_weight_after(u0: float, rho: float, t: float, alpha: float) -> float:
+    """Weight-like quantity after time ``t`` of growth starting from ``u0``.
+
+    ``X(t) = (u0**beta + rho*beta*t)**(1/beta)``.  Note that growth from
+    ``u0 == 0`` is well defined and positive for ``t > 0`` — this is the
+    non-trivial solution of the degenerate ODE, and it is exactly the time
+    reversal of the clairvoyant decay curve (Fig. 1b of the paper); it is why
+    Algorithm NC needs no ``epsilon`` bootstrap in the uniform-density case.
+    """
+    _check(u0, rho, t)
+    beta = beta_of(alpha)
+    return (u0**beta + rho * beta * t) ** (1.0 / beta)
+
+
+def growth_time_between(u0: float, u1: float, rho: float, alpha: float) -> float:
+    """Time for the growth to rise from ``u0`` to ``u1 >= u0``."""
+    _check(u0, rho)
+    if u1 < u0 * (1 - 1e-12):
+        raise ValueError(f"need u1 >= u0, got u1={u1}, u0={u0}")
+    beta = beta_of(alpha)
+    return max(0.0, (u1**beta - u0**beta) / (rho * beta))
+
+
+def growth_energy_between(u0: float, u1: float, rho: float, alpha: float) -> float:
+    """Energy consumed while the growth rises from ``u0`` to ``u1``.
+
+    Mirrors :func:`decay_energy_between`; the two agree on matching endpoints,
+    which is the single-job version of Lemma 3 (energy equality of Algorithms
+    C and NC).
+    """
+    _check(u0, rho)
+    if u1 < u0 * (1 - 1e-12):
+        raise ValueError(f"need u1 >= u0, got u1={u1}, u0={u0}")
+    beta = beta_of(alpha)
+    return max(0.0, (u1 ** (1.0 + beta) - u0 ** (1.0 + beta)) / (rho * (1.0 + beta)))
+
+
+def growth_flow_integral(u0: float, rho: float, tau: float, alpha: float) -> float:
+    """``∫_0^tau processed_volume(t) dt`` for a growth segment of length ``tau``.
+
+    Volume processed by time ``t`` is ``(X(t) - u0) / rho``, so the integral is
+    ``(∫_0^tau X dt - u0*tau) / rho = (energy - u0*tau) / rho``.
+    """
+    _check(u0, rho, tau)
+    u_end = growth_weight_after(u0, rho, tau, alpha)
+    energy = growth_energy_between(u0, u_end, rho, alpha)
+    return (energy - u0 * tau) / rho
+
+
+def _check(x: float, rho: float, t: float | None = None) -> None:
+    if x < 0 or not math.isfinite(x):
+        raise ValueError(f"weight must be finite and non-negative, got {x}")
+    if rho <= 0 or not math.isfinite(rho):
+        raise ValueError(f"density must be finite and positive, got {rho}")
+    if t is not None and (t < 0 or not math.isfinite(t)):
+        raise ValueError(f"time must be finite and non-negative, got {t}")

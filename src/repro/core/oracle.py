@@ -1,0 +1,84 @@
+"""The non-clairvoyance boundary.
+
+In the paper's model (§2) an online non-clairvoyant algorithm learns, for each
+job: its release time and density on release, and — only at the instant the
+job completes — its volume.  At any time it can observe whether a job is still
+active.  :class:`VolumeOracle` is the single object through which algorithm
+code in this package may access volumes; it enforces the information model at
+runtime and keeps an audit log that tests inspect to prove no algorithm
+peeked.
+
+The *simulator* (which plays the adversary/nature) naturally knows the truth;
+it uses the underscore-prefixed trusted accessors.  Algorithm code must never
+call those — the test suite greps the algorithm modules for this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .errors import ClairvoyanceViolationError
+from .job import Instance
+
+__all__ = ["VolumeOracle", "ReleaseInfo"]
+
+
+@dataclass(frozen=True, slots=True)
+class ReleaseInfo:
+    """What a non-clairvoyant algorithm learns when a job is released."""
+
+    job_id: int
+    release: float
+    density: float
+
+
+class VolumeOracle:
+    """Gatekeeper between the true :class:`Instance` and a non-clairvoyant
+    algorithm.
+
+    Trusted (simulator-only) accessors are prefixed with an underscore.
+    """
+
+    def __init__(self, instance: Instance) -> None:
+        self._instance = instance
+        self._completed: set[int] = set()
+        self.audit_log: list[tuple[str, int]] = []
+
+    # -- public information (known on release) -------------------------------
+
+    def release_info(self, job_id: int) -> ReleaseInfo:
+        job = self._instance[job_id]
+        return ReleaseInfo(job.job_id, job.release, job.density)
+
+    def releases(self) -> tuple[ReleaseInfo, ...]:
+        """All releases in FIFO order (release time, then job id)."""
+        return tuple(self.release_info(j.job_id) for j in self._instance)
+
+    # -- the only volume channel an algorithm may use -------------------------
+
+    def is_completed(self, job_id: int) -> bool:
+        self.audit_log.append(("is_completed", job_id))
+        return job_id in self._completed
+
+    def revealed_volume(self, job_id: int) -> float:
+        """The volume of a *completed* job.
+
+        Raises :class:`ClairvoyanceViolationError` for active jobs — that read
+        is exactly what "non-clairvoyant" forbids.
+        """
+        self.audit_log.append(("revealed_volume", job_id))
+        if job_id not in self._completed:
+            raise ClairvoyanceViolationError(
+                f"volume of job {job_id} is hidden until the job completes"
+            )
+        return self._instance[job_id].volume
+
+    # -- trusted accessors for the simulation harness ------------------------
+
+    def _true_volume(self, job_id: int) -> float:
+        return self._instance[job_id].volume
+
+    def _mark_completed(self, job_id: int) -> None:
+        if job_id in self._completed:
+            raise ClairvoyanceViolationError(f"job {job_id} completed twice")
+        self._completed.add(job_id)

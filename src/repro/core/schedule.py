@@ -1,0 +1,472 @@
+"""Exact schedule representation.
+
+A :class:`Schedule` is a time-ordered sequence of non-overlapping
+:class:`Segment` s on one machine.  Each segment records *which job* ran and
+the *analytic speed profile* it ran with, so downstream metrics (energy,
+volume, fractional flow-time) are computed in closed form instead of by
+re-sampling a trajectory:
+
+* :class:`IdleSegment` — machine off.
+* :class:`ConstantSegment` — constant speed (the numeric engine emits these).
+* :class:`DecaySegment` — the Algorithm C profile: speed ``X(t)**(1/alpha)``
+  with the weight-like quantity ``X`` *decaying* as ``dX/dt = -rho X**(1/alpha)``.
+* :class:`GrowthSegment` — the Algorithm NC profile: same but *growing*.
+
+Decay/Growth segments are only meaningful under ``P(s) = s**alpha`` with the
+matching ``alpha`` (the profile embeds the power-equals-weight rule); their
+``energy`` methods verify this and fall back to quadrature for other power
+functions.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from scipy.integrate import quad
+
+from . import kernels
+from .errors import ScheduleError
+from .power import PowerFunction, PowerLaw
+
+__all__ = [
+    "Segment",
+    "IdleSegment",
+    "ConstantSegment",
+    "DecaySegment",
+    "GrowthSegment",
+    "ScaledSegment",
+    "Schedule",
+    "ScheduleBuilder",
+]
+
+_REL_TOL = 1e-9
+
+
+@dataclass(frozen=True)
+class Segment(ABC):
+    """A maximal interval ``[t0, t1]`` during which one job (or nothing) runs
+    with a single analytic speed profile."""
+
+    t0: float
+    t1: float
+    job_id: int | None
+
+    def __post_init__(self) -> None:
+        if not (math.isfinite(self.t0) and math.isfinite(self.t1)):
+            raise ScheduleError(f"segment endpoints must be finite: [{self.t0}, {self.t1}]")
+        if self.t1 < self.t0:
+            raise ScheduleError(f"segment must have t1 >= t0: [{self.t0}, {self.t1}]")
+
+    @property
+    def duration(self) -> float:
+        return self.t1 - self.t0
+
+    @abstractmethod
+    def speed_at(self, t: float) -> float:
+        """Machine speed at absolute time ``t`` in ``[t0, t1]``."""
+
+    @abstractmethod
+    def volume(self) -> float:
+        """Total volume processed over the whole segment (``∫ s dt``)."""
+
+    @abstractmethod
+    def volume_until(self, tau: float) -> float:
+        """Volume processed in the first ``tau`` time units of the segment."""
+
+    @abstractmethod
+    def time_to_volume(self, v: float) -> float:
+        """Local time offset at which the segment has processed volume ``v``."""
+
+    @abstractmethod
+    def energy(self, power: PowerFunction) -> float:
+        """Energy ``∫ P(s(t)) dt`` over the segment."""
+
+    @abstractmethod
+    def flow_integral(self, tau: float) -> float:
+        """``∫_0^tau volume_until(t) dt`` — the double integral needed for
+        exact fractional flow-time accounting within the segment."""
+
+    @abstractmethod
+    def subsegment(self, la: float, lb: float) -> "Segment":
+        """The restriction of this segment to local times ``[la, lb]`` as a
+        standalone segment (absolute times preserved)."""
+
+    def _local(self, t: float) -> float:
+        if t < self.t0 - _REL_TOL * max(1.0, abs(self.t0)) or t > self.t1 + _REL_TOL * max(1.0, abs(self.t1)):
+            raise ScheduleError(f"time {t} outside segment [{self.t0}, {self.t1}]")
+        return min(max(t - self.t0, 0.0), self.duration)
+
+    def _clip(self, la: float, lb: float) -> tuple[float, float]:
+        la = min(max(la, 0.0), self.duration)
+        lb = min(max(lb, 0.0), self.duration)
+        if lb < la:
+            raise ScheduleError(f"invalid subsegment window [{la}, {lb}]")
+        return la, lb
+
+
+@dataclass(frozen=True)
+class IdleSegment(Segment):
+    """The machine is off: speed 0, no job. ``job_id`` is always ``None``."""
+
+    job_id: int | None = None
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.job_id is not None:
+            raise ScheduleError("IdleSegment cannot carry a job")
+
+    def speed_at(self, t: float) -> float:
+        self._local(t)
+        return 0.0
+
+    def volume(self) -> float:
+        return 0.0
+
+    def volume_until(self, tau: float) -> float:
+        return 0.0
+
+    def time_to_volume(self, v: float) -> float:
+        if v > 0:
+            raise ScheduleError("idle segment processes no volume")
+        return 0.0
+
+    def energy(self, power: PowerFunction) -> float:
+        return 0.0
+
+    def flow_integral(self, tau: float) -> float:
+        return 0.0
+
+    def subsegment(self, la: float, lb: float) -> "IdleSegment":
+        la, lb = self._clip(la, lb)
+        return IdleSegment(self.t0 + la, self.t0 + lb, None)
+
+
+@dataclass(frozen=True)
+class ConstantSegment(Segment):
+    """Constant speed ``s`` on one job."""
+
+    speed: float = 0.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.speed < 0 or not math.isfinite(self.speed):
+            raise ScheduleError(f"speed must be finite >= 0, got {self.speed}")
+        if self.job_id is None and self.speed > 0:
+            raise ScheduleError("positive speed requires a job")
+
+    def speed_at(self, t: float) -> float:
+        self._local(t)
+        return self.speed
+
+    def volume(self) -> float:
+        return self.speed * self.duration
+
+    def volume_until(self, tau: float) -> float:
+        return self.speed * min(max(tau, 0.0), self.duration)
+
+    def time_to_volume(self, v: float) -> float:
+        if v < 0 or v > self.volume() * (1 + 1e-9):
+            raise ScheduleError(f"volume {v} outside segment range {self.volume()}")
+        if self.speed == 0:
+            return 0.0
+        return min(v / self.speed, self.duration)
+
+    def energy(self, power: PowerFunction) -> float:
+        return power.power(self.speed) * self.duration
+
+    def flow_integral(self, tau: float) -> float:
+        tau = min(max(tau, 0.0), self.duration)
+        return 0.5 * self.speed * tau * tau
+
+    def subsegment(self, la: float, lb: float) -> "ConstantSegment":
+        la, lb = self._clip(la, lb)
+        return ConstantSegment(self.t0 + la, self.t0 + lb, self.job_id, self.speed)
+
+
+@dataclass(frozen=True)
+class _PowerLawSegment(Segment):
+    """Shared plumbing for the decay/growth profiles."""
+
+    x0: float = 0.0  # weight-like state at t0
+    rho: float = 1.0  # density of the job driving the dynamics
+    alpha: float = 2.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.x0 < 0 or not math.isfinite(self.x0):
+            raise ScheduleError(f"x0 must be finite >= 0, got {self.x0}")
+        if self.rho <= 0 or self.alpha <= 1:
+            raise ScheduleError(f"need rho > 0 and alpha > 1, got rho={self.rho}, alpha={self.alpha}")
+        if self.job_id is None:
+            raise ScheduleError("power-law segments must process a job")
+
+    def _numeric_energy(self, power: PowerFunction) -> float:
+        val, _ = quad(lambda t: power.power(self.speed_at(self.t0 + t)), 0.0, self.duration, limit=200)
+        return float(val)
+
+    def _matches(self, power: PowerFunction) -> bool:
+        return isinstance(power, PowerLaw) and math.isclose(power.alpha, self.alpha, rel_tol=1e-12)
+
+
+@dataclass(frozen=True)
+class DecaySegment(_PowerLawSegment):
+    """Algorithm C's profile: ``X`` decays from ``x0``; speed ``X**(1/alpha)``.
+
+    ``X`` is the machine's total remaining weight under the power-equals-weight
+    rule; the processed job has density ``rho``.
+    """
+
+    def weight_at(self, t: float) -> float:
+        """The weight-like state ``X`` at absolute time ``t``."""
+        return kernels.decay_weight_after(self.x0, self.rho, self._local(t), self.alpha)
+
+    def speed_at(self, t: float) -> float:
+        return kernels.speed_at(self.weight_at(t), self.alpha)
+
+    def volume(self) -> float:
+        return self.volume_until(self.duration)
+
+    def volume_until(self, tau: float) -> float:
+        tau = min(max(tau, 0.0), self.duration)
+        x = kernels.decay_weight_after(self.x0, self.rho, tau, self.alpha)
+        return (self.x0 - x) / self.rho
+
+    def time_to_volume(self, v: float) -> float:
+        if v < 0 or v > self.volume() * (1 + 1e-9):
+            raise ScheduleError(f"volume {v} outside segment range {self.volume()}")
+        target = max(self.x0 - self.rho * v, 0.0)
+        return min(kernels.decay_time_between(self.x0, target, self.rho, self.alpha), self.duration)
+
+    def energy(self, power: PowerFunction) -> float:
+        if self._matches(power):
+            x_end = kernels.decay_weight_after(self.x0, self.rho, self.duration, self.alpha)
+            return kernels.decay_energy_between(self.x0, x_end, self.rho, self.alpha)
+        return self._numeric_energy(power)
+
+    def flow_integral(self, tau: float) -> float:
+        tau = min(max(tau, 0.0), self.duration)
+        return kernels.decay_flow_integral(self.x0, self.rho, tau, self.alpha)
+
+    def subsegment(self, la: float, lb: float) -> "DecaySegment":
+        la, lb = self._clip(la, lb)
+        x_la = kernels.decay_weight_after(self.x0, self.rho, la, self.alpha)
+        return DecaySegment(self.t0 + la, self.t0 + lb, self.job_id, x_la, self.rho, self.alpha)
+
+
+@dataclass(frozen=True)
+class GrowthSegment(_PowerLawSegment):
+    """Algorithm NC's profile: ``X`` grows from ``x0``; speed ``X**(1/alpha)``.
+
+    ``X`` is the paper's ``W^C(r[j]-) + W̆[j](t)``; the processed job has
+    density ``rho``.
+    """
+
+    def weight_at(self, t: float) -> float:
+        return kernels.growth_weight_after(self.x0, self.rho, self._local(t), self.alpha)
+
+    def speed_at(self, t: float) -> float:
+        return kernels.speed_at(self.weight_at(t), self.alpha)
+
+    def volume(self) -> float:
+        return self.volume_until(self.duration)
+
+    def volume_until(self, tau: float) -> float:
+        tau = min(max(tau, 0.0), self.duration)
+        x = kernels.growth_weight_after(self.x0, self.rho, tau, self.alpha)
+        return (x - self.x0) / self.rho
+
+    def time_to_volume(self, v: float) -> float:
+        if v < 0 or v > self.volume() * (1 + 1e-9):
+            raise ScheduleError(f"volume {v} outside segment range {self.volume()}")
+        return min(
+            kernels.growth_time_between(self.x0, self.x0 + self.rho * v, self.rho, self.alpha),
+            self.duration,
+        )
+
+    def energy(self, power: PowerFunction) -> float:
+        if self._matches(power):
+            x_end = kernels.growth_weight_after(self.x0, self.rho, self.duration, self.alpha)
+            return kernels.growth_energy_between(self.x0, x_end, self.rho, self.alpha)
+        return self._numeric_energy(power)
+
+    def flow_integral(self, tau: float) -> float:
+        tau = min(max(tau, 0.0), self.duration)
+        return kernels.growth_flow_integral(self.x0, self.rho, tau, self.alpha)
+
+    def subsegment(self, la: float, lb: float) -> "GrowthSegment":
+        la, lb = self._clip(la, lb)
+        x_la = kernels.growth_weight_after(self.x0, self.rho, la, self.alpha)
+        return GrowthSegment(self.t0 + la, self.t0 + lb, self.job_id, x_la, self.rho, self.alpha)
+
+
+@dataclass(frozen=True)
+class ScaledSegment(Segment):
+    """A segment whose speed is ``factor`` times a base segment's speed at the
+    same wall-clock instant.
+
+    This is exactly the schedule transformation of the §5 black-box reduction
+    (Lemma 15): ``A_int`` runs at ``(1+eps)`` times ``A_frac``'s speed over the
+    same time window.  The base segment must span the same ``[t0, t1]``.
+    """
+
+    base: Segment = None  # type: ignore[assignment]
+    factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.base is None:
+            raise ScheduleError("ScaledSegment requires a base segment")
+        if not (self.factor > 0 and math.isfinite(self.factor)):
+            raise ScheduleError(f"factor must be finite > 0, got {self.factor}")
+        if not (
+            math.isclose(self.base.t0, self.t0, rel_tol=1e-12, abs_tol=1e-12)
+            and math.isclose(self.base.t1, self.t1, rel_tol=1e-12, abs_tol=1e-12)
+        ):
+            raise ScheduleError("ScaledSegment must span the same window as its base")
+
+    def speed_at(self, t: float) -> float:
+        return self.factor * self.base.speed_at(t)
+
+    def volume(self) -> float:
+        return self.factor * self.base.volume()
+
+    def volume_until(self, tau: float) -> float:
+        return self.factor * self.base.volume_until(tau)
+
+    def time_to_volume(self, v: float) -> float:
+        return self.base.time_to_volume(v / self.factor)
+
+    def energy(self, power: PowerFunction) -> float:
+        if isinstance(power, PowerLaw):
+            # P(c*s) = c**alpha * P(s), so the energy scales by c**alpha.
+            return self.factor**power.alpha * self.base.energy(power)
+        val, _ = quad(lambda t: power.power(self.speed_at(self.t0 + t)), 0.0, self.duration, limit=200)
+        return float(val)
+
+    def flow_integral(self, tau: float) -> float:
+        return self.factor * self.base.flow_integral(tau)
+
+    def subsegment(self, la: float, lb: float) -> "ScaledSegment":
+        la, lb = self._clip(la, lb)
+        sub = self.base.subsegment(la, lb)
+        return ScaledSegment(sub.t0, sub.t1, self.job_id, sub, self.factor)
+
+
+class Schedule:
+    """An immutable, time-ordered, gap-explicit sequence of segments.
+
+    Gaps between consecutive segments are permitted (treated as idle); overlap
+    is not.  Use :class:`ScheduleBuilder` to construct one incrementally.
+    """
+
+    def __init__(self, segments: Iterable[Segment]) -> None:
+        segs = [s for s in segments if s.duration > 0]
+        segs.sort(key=lambda s: s.t0)
+        for a, b in zip(segs, segs[1:]):
+            if b.t0 < a.t1 - _REL_TOL * max(1.0, abs(a.t1)):
+                raise ScheduleError(f"segments overlap: [{a.t0},{a.t1}] then [{b.t0},{b.t1}]")
+        self._segments: tuple[Segment, ...] = tuple(segs)
+
+    # -- container protocol -------------------------------------------------
+
+    def __iter__(self) -> Iterator[Segment]:
+        return iter(self._segments)
+
+    def __len__(self) -> int:
+        return len(self._segments)
+
+    @property
+    def segments(self) -> tuple[Segment, ...]:
+        return self._segments
+
+    @property
+    def end_time(self) -> float:
+        return self._segments[-1].t1 if self._segments else 0.0
+
+    # -- queries -------------------------------------------------------------
+
+    def job_segments(self, job_id: int) -> tuple[Segment, ...]:
+        return tuple(s for s in self._segments if s.job_id == job_id)
+
+    def processed_volume(self, job_id: int) -> float:
+        return sum(s.volume() for s in self.job_segments(job_id))
+
+    def processed_volume_until(self, job_id: int, t: float) -> float:
+        """Volume of ``job_id`` processed by absolute time ``t``."""
+        total = 0.0
+        for s in self._segments:
+            if s.job_id != job_id:
+                continue
+            if s.t1 <= t:
+                total += s.volume()
+            elif s.t0 < t:
+                total += s.volume_until(t - s.t0)
+        return total
+
+    def completion_time(self, job_id: int, volume: float) -> float:
+        """The time at which cumulative processed volume of ``job_id`` first
+        reaches ``volume`` (within relative tolerance)."""
+        remaining = volume
+        last_end: float | None = None
+        for s in self._segments:
+            if s.job_id != job_id:
+                continue
+            v = s.volume()
+            if v >= remaining * (1 - 1e-9):
+                return s.t0 + s.time_to_volume(min(remaining, v))
+            remaining -= v
+            last_end = s.t1
+        if last_end is not None and remaining <= 1e-6 * max(1.0, volume):
+            # Accumulated float shortfall across many segments; the job is
+            # complete for every practical purpose at its last touch.
+            return last_end
+        raise ScheduleError(
+            f"job {job_id} never accumulates volume {volume} "
+            f"(processed {self.processed_volume(job_id)})"
+        )
+
+    def speed_at(self, t: float) -> float:
+        """Machine speed at absolute time ``t`` (0 in gaps / outside)."""
+        for s in self._segments:
+            if s.t0 <= t <= s.t1:
+                return s.speed_at(t)
+        return 0.0
+
+    def job_at(self, t: float) -> int | None:
+        """The job running at absolute time ``t`` (``None`` when idle).
+
+        At segment boundaries the later segment wins, matching the convention
+        that completions happen at the instant the boundary is reached.
+        """
+        answer: int | None = None
+        for s in self._segments:
+            if s.t0 <= t < s.t1:
+                answer = s.job_id
+        return answer
+
+
+class ScheduleBuilder:
+    """Incremental, append-only construction of a :class:`Schedule`."""
+
+    def __init__(self) -> None:
+        self._segments: list[Segment] = []
+        self._clock = 0.0
+
+    @property
+    def clock(self) -> float:
+        return self._clock
+
+    def append(self, segment: Segment) -> None:
+        if segment.t0 < self._clock - _REL_TOL * max(1.0, self._clock):
+            raise ScheduleError(
+                f"segment starts at {segment.t0} before builder clock {self._clock}"
+            )
+        if segment.duration > 0:
+            self._segments.append(segment)
+        self._clock = max(self._clock, segment.t1)
+
+    def build(self) -> Schedule:
+        return Schedule(self._segments)

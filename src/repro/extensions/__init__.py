@@ -1,0 +1,28 @@
+"""Extensions beyond the paper's core results: adjacent models its related
+work section points to, implemented on the same exact simulation substrate."""
+
+from .bounded_speed import (
+    CappedPowerLaw,
+    CappedRun,
+    simulate_clairvoyant_capped,
+    simulate_nc_uniform_capped,
+)
+from .deadlines import (
+    DeadlineInstance,
+    avr_schedule,
+    deadline_energy_lower_bound,
+    validate_deadlines,
+    yds_schedule,
+)
+
+__all__ = [
+    "CappedPowerLaw",
+    "CappedRun",
+    "simulate_clairvoyant_capped",
+    "simulate_nc_uniform_capped",
+    "DeadlineInstance",
+    "yds_schedule",
+    "avr_schedule",
+    "deadline_energy_lower_bound",
+    "validate_deadlines",
+]

@@ -1,0 +1,242 @@
+"""Extension: speed-bounded processors.
+
+The paper's related work (§1.3, citing Bansal–Chan–Lam–Lee [6]) studies the
+same objective when the machine has a *maximum speed* ``s_max``.  This module
+extends the reproduction to that model:
+
+* :class:`CappedPowerLaw` — ``P(s) = s**alpha`` on ``[0, s_max]``; speeds
+  above the cap are infeasible.
+* :func:`simulate_clairvoyant_capped` — Algorithm C with the clipped speed
+  rule ``s = min(P^{-1}(W), s_max)``: while the remaining weight exceeds
+  ``P(s_max)`` the machine saturates at ``s_max`` (weight falls *linearly*),
+  then the ordinary decay takes over.  Exact, event-driven.
+* :func:`simulate_nc_uniform_capped` — Algorithm NC with the same clip on its
+  growth rule ``s = min(P^{-1}(W^C(r-) + W̆), s_max)``.
+
+A structural observation this extension demonstrates empirically (see
+``benchmarks/bench_bounded_speed.py``): Lemma 3's **energy equality survives
+the cap** — the clipped NC growth profile is still a time-reversed /
+rearranged copy of the clipped C decay profile, both saturating at the same
+level — while Lemma 4's exact flow ratio degrades gracefully as the cap
+tightens (the paper's uncapped `1/(1-1/alpha)` is recovered as
+``s_max -> inf``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..algorithms.clairvoyant import hdf_key
+from ..core.errors import InvalidInstanceError, InvalidPowerFunctionError, SimulationError
+from ..core.job import Instance
+from ..core.kernels import decay_time_between, decay_weight_after, growth_time_between
+from ..core.power import PowerLaw
+from ..core.schedule import ConstantSegment, DecaySegment, GrowthSegment, Schedule, ScheduleBuilder
+
+__all__ = [
+    "CappedPowerLaw",
+    "CappedRun",
+    "simulate_clairvoyant_capped",
+    "simulate_nc_uniform_capped",
+]
+
+_TIE_TOL = 1e-12
+
+
+class CappedPowerLaw(PowerLaw):
+    """``P(s) = s**alpha`` with a hard maximum speed.
+
+    Subclasses :class:`PowerLaw` so the analytic decay/growth segments (which
+    only ever exist *below* the cap) keep their closed-form energies.
+    ``power`` rejects infeasible speeds; ``speed`` clips at the cap — the
+    natural semantics for the power-equals-weight rule ("run as the rule says,
+    but never faster than the hardware allows").
+    """
+
+    __slots__ = ("s_max",)
+
+    def __init__(self, alpha: float, s_max: float) -> None:
+        super().__init__(alpha)
+        if not (s_max > 0 and math.isfinite(s_max)):
+            raise InvalidPowerFunctionError(f"s_max must be finite > 0, got {s_max}")
+        self.s_max = float(s_max)
+
+    @property
+    def saturation_weight(self) -> float:
+        """The weight level ``P(s_max)`` above which the machine saturates."""
+        return self.s_max**self.alpha
+
+    def power(self, speed: float) -> float:
+        if speed > self.s_max * (1 + 1e-9):
+            raise ValueError(f"speed {speed} exceeds the cap {self.s_max}")
+        return super().power(min(speed, self.s_max))
+
+    def speed(self, power: float) -> float:
+        return min(super().speed(power), self.s_max)
+
+    def __repr__(self) -> str:
+        return f"CappedPowerLaw(alpha={self.alpha}, s_max={self.s_max})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, CappedPowerLaw)
+            and other.alpha == self.alpha
+            and other.s_max == self.s_max
+        )
+
+    def __hash__(self) -> int:
+        return hash(("CappedPowerLaw", self.alpha, self.s_max))
+
+
+@dataclass(frozen=True)
+class CappedRun:
+    """Outcome of a capped simulation."""
+
+    instance: Instance
+    power: CappedPowerLaw
+    schedule: Schedule
+    clock: float
+    remaining: dict[int, float]
+
+    def completion_time(self, job_id: int) -> float:
+        return self.schedule.completion_time(job_id, self.instance[job_id].volume)
+
+    def max_observed_speed(self, samples: int = 512) -> float:
+        end = self.schedule.end_time
+        return max(
+            self.schedule.speed_at(end * k / (samples - 1)) for k in range(samples)
+        )
+
+
+def simulate_clairvoyant_capped(
+    instance: Instance, power: CappedPowerLaw, *, until: float | None = None
+) -> CappedRun:
+    """Algorithm C with speed clipped at ``s_max`` (exact, event-driven)."""
+    if not isinstance(power, CappedPowerLaw):
+        raise TypeError("use simulate_clairvoyant for uncapped power laws")
+    alpha = power.alpha
+    w_sat = power.saturation_weight
+    horizon = math.inf if until is None else float(until)
+
+    releases = list(instance.jobs)
+    next_rel = 0
+    remaining: dict[int, float] = {}
+    builder = ScheduleBuilder()
+    t = 0.0
+
+    def admit(now: float) -> None:
+        nonlocal next_rel
+        while next_rel < len(releases) and releases[next_rel].release <= now * (1 + _TIE_TOL):
+            remaining[releases[next_rel].job_id] = releases[next_rel].volume
+            next_rel += 1
+
+    admit(t)
+    while t < horizon and (remaining or next_rel < len(releases)):
+        if not remaining:
+            t = min(releases[next_rel].release, horizon)
+            admit(t)
+            continue
+        current = min((instance[j] for j in remaining), key=hdf_key)
+        rho = current.density
+        w_total = sum(instance[j].density * v for j, v in remaining.items())
+        if rho * remaining[current.job_id] <= 1e-15 * w_total:
+            # The job's weight share underflows against the total: in the
+            # saturated branch its processing time would round to zero and
+            # the loop would never advance.  Finish it instantly.
+            del remaining[current.job_id]
+            continue
+        w_end_job = w_total - rho * remaining[current.job_id]
+        t_next_event = releases[next_rel].release if next_rel < len(releases) else math.inf
+
+        if w_total > w_sat * (1 + _TIE_TOL):
+            # Saturated phase: constant speed s_max, weight falls linearly.
+            target = max(w_sat, w_end_job)
+            tau_phase = (w_total - target) / (rho * power.s_max)
+            t_stop = min(t + tau_phase, t_next_event, horizon)
+            tau = t_stop - t
+            if tau > 0:
+                builder.append(ConstantSegment(t, t_stop, current.job_id, power.s_max))
+                dv = power.s_max * tau
+                remaining[current.job_id] = max(remaining[current.job_id] - dv, 0.0)
+                if remaining[current.job_id] <= 0.0:
+                    del remaining[current.job_id]
+            t = t_stop
+            admit(t)
+            continue
+
+        # Unsaturated phase: the ordinary decay dynamics.
+        tau_complete = decay_time_between(w_total, max(w_end_job, 0.0), rho, alpha)
+        t_stop = min(t + tau_complete, t_next_event, horizon)
+        if t_stop >= t + tau_complete * (1.0 - _TIE_TOL):
+            builder.append(
+                DecaySegment(t, t + tau_complete, current.job_id, w_total, rho, alpha)
+            )
+            t = t + tau_complete
+            del remaining[current.job_id]
+        else:
+            tau = t_stop - t
+            if tau > 0:
+                w_after = decay_weight_after(w_total, rho, tau, alpha)
+                dv = (w_total - w_after) / rho
+                builder.append(DecaySegment(t, t_stop, current.job_id, w_total, rho, alpha))
+                remaining[current.job_id] = max(remaining[current.job_id] - dv, 0.0)
+                if remaining[current.job_id] <= 0.0:
+                    del remaining[current.job_id]
+            t = t_stop
+        admit(t)
+
+    return CappedRun(
+        instance=instance, power=power, schedule=builder.build(), clock=t, remaining=dict(remaining)
+    )
+
+
+def simulate_nc_uniform_capped(instance: Instance, power: CappedPowerLaw) -> CappedRun:
+    """Algorithm NC (uniform densities) with speed clipped at ``s_max``.
+
+    While processing job ``j`` the driver ``U = W^C(r[j]-) + W̆[j]`` grows;
+    once ``U`` exceeds ``P(s_max)`` the machine saturates and ``U`` grows
+    *linearly* to the job's end.  ``W^C(r[j]-)`` is read from a capped
+    clairvoyant prefix run so the shadow matches the hardware.
+    """
+    if not isinstance(power, CappedPowerLaw):
+        raise TypeError("use simulate_nc_uniform for uncapped power laws")
+    if not instance.is_uniform_density():
+        raise InvalidInstanceError("the §3 algorithm requires uniform densities")
+    alpha = power.alpha
+    u_sat = power.saturation_weight
+    builder = ScheduleBuilder()
+    t = 0.0
+    for job in instance:  # FIFO
+        start = max(t, job.release)
+        rho = job.density
+        prefix = instance.released_before(job.release, strict=True)
+        if prefix is None:
+            offset = 0.0
+        else:
+            shadow = simulate_clairvoyant_capped(prefix, power, until=job.release)
+            offset = sum(prefix[k].density * v for k, v in shadow.remaining.items())
+
+        u_end = offset + job.weight
+        cursor = start
+        if offset < u_sat:
+            # Growth phase up to the cap (or the job's end).
+            u_stop = min(u_end, u_sat)
+            tau = growth_time_between(offset, u_stop, rho, alpha)
+            if tau > 0:
+                builder.append(GrowthSegment(cursor, cursor + tau, job.job_id, offset, rho, alpha))
+                cursor += tau
+            reached = u_stop
+        else:
+            reached = offset
+        if u_end > reached:
+            # Saturated phase: constant speed to the finish line.
+            tau = (u_end - reached) / (rho * power.s_max)
+            builder.append(ConstantSegment(cursor, cursor + tau, job.job_id, power.s_max))
+            cursor += tau
+        if cursor <= start:
+            raise SimulationError(f"job {job.job_id} made no progress")
+        t = cursor
+    return CappedRun(
+        instance=instance, power=power, schedule=builder.build(), clock=t, remaining={}
+    )

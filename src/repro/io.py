@@ -1,0 +1,143 @@
+"""Serialization: save and load instances, schedules and cost reports.
+
+Experiment artifacts should be reproducible *and* archivable: the bench
+harness stores text renderings, and this module provides the structured
+counterpart — JSON-friendly dictionaries with exact round-tripping of the
+analytic segment parameters (so a re-loaded schedule evaluates to bit-equal
+costs).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from .core.errors import ScheduleError
+from .core.job import Instance, Job
+from .core.metrics import CostReport
+from .core.schedule import (
+    ConstantSegment,
+    DecaySegment,
+    GrowthSegment,
+    IdleSegment,
+    ScaledSegment,
+    Schedule,
+    Segment,
+)
+
+__all__ = [
+    "instance_to_dict",
+    "instance_from_dict",
+    "schedule_to_dict",
+    "schedule_from_dict",
+    "report_to_dict",
+    "dump_run",
+    "load_run",
+]
+
+_SCHEMA_VERSION = 1
+
+
+def instance_to_dict(instance: Instance) -> dict[str, Any]:
+    return {
+        "schema": _SCHEMA_VERSION,
+        "jobs": [
+            {"id": j.job_id, "release": j.release, "volume": j.volume, "density": j.density}
+            for j in instance
+        ],
+    }
+
+
+def instance_from_dict(data: dict[str, Any]) -> Instance:
+    return Instance(
+        Job(item["id"], item["release"], item["volume"], item.get("density", 1.0))
+        for item in data["jobs"]
+    )
+
+
+def _segment_to_dict(seg: Segment) -> dict[str, Any]:
+    base: dict[str, Any] = {"t0": seg.t0, "t1": seg.t1, "job": seg.job_id}
+    if isinstance(seg, IdleSegment):
+        base["kind"] = "idle"
+    elif isinstance(seg, ConstantSegment):
+        base["kind"] = "constant"
+        base["speed"] = seg.speed
+    elif isinstance(seg, DecaySegment):
+        base["kind"] = "decay"
+        base.update(x0=seg.x0, rho=seg.rho, alpha=seg.alpha)
+    elif isinstance(seg, GrowthSegment):
+        base["kind"] = "growth"
+        base.update(x0=seg.x0, rho=seg.rho, alpha=seg.alpha)
+    elif isinstance(seg, ScaledSegment):
+        base["kind"] = "scaled"
+        base["factor"] = seg.factor
+        base["base"] = _segment_to_dict(seg.base)
+    else:
+        raise ScheduleError(f"cannot serialise segment type {type(seg).__name__}")
+    return base
+
+
+def _segment_from_dict(data: dict[str, Any]) -> Segment:
+    kind = data["kind"]
+    t0, t1, job = data["t0"], data["t1"], data["job"]
+    if kind == "idle":
+        return IdleSegment(t0, t1, None)
+    if kind == "constant":
+        return ConstantSegment(t0, t1, job, data["speed"])
+    if kind == "decay":
+        return DecaySegment(t0, t1, job, data["x0"], data["rho"], data["alpha"])
+    if kind == "growth":
+        return GrowthSegment(t0, t1, job, data["x0"], data["rho"], data["alpha"])
+    if kind == "scaled":
+        return ScaledSegment(t0, t1, job, _segment_from_dict(data["base"]), data["factor"])
+    raise ScheduleError(f"unknown segment kind {kind!r}")
+
+
+def schedule_to_dict(schedule: Schedule) -> dict[str, Any]:
+    return {
+        "schema": _SCHEMA_VERSION,
+        "segments": [_segment_to_dict(s) for s in schedule],
+    }
+
+
+def schedule_from_dict(data: dict[str, Any]) -> Schedule:
+    return Schedule(_segment_from_dict(s) for s in data["segments"])
+
+
+def report_to_dict(report: CostReport) -> dict[str, Any]:
+    """One-way export of a cost report (reports are derived data; reload by
+    re-evaluating the schedule)."""
+    return {
+        "schema": _SCHEMA_VERSION,
+        "energy": report.energy,
+        "fractional_flow": report.fractional_flow,
+        "integral_flow": report.integral_flow,
+        "fractional_objective": report.fractional_objective,
+        "integral_objective": report.integral_objective,
+        "completion_times": {str(k): v for k, v in report.completion_times.items()},
+        "fractional_flow_by_job": {str(k): v for k, v in report.fractional_flow_by_job.items()},
+        "integral_flow_by_job": {str(k): v for k, v in report.integral_flow_by_job.items()},
+    }
+
+
+def dump_run(path: str, instance: Instance, schedule: Schedule, *, meta: dict | None = None) -> None:
+    """Write an (instance, schedule) pair as JSON."""
+    payload = {
+        "schema": _SCHEMA_VERSION,
+        "meta": meta or {},
+        "instance": instance_to_dict(instance),
+        "schedule": schedule_to_dict(schedule),
+    }
+    with open(path, "w") as fh:
+        json.dump(payload, fh)
+
+
+def load_run(path: str) -> tuple[Instance, Schedule, dict]:
+    """Read an (instance, schedule, meta) triple written by :func:`dump_run`."""
+    with open(path) as fh:
+        payload = json.load(fh)
+    return (
+        instance_from_dict(payload["instance"]),
+        schedule_from_dict(payload["schedule"]),
+        payload.get("meta", {}),
+    )

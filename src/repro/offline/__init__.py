@@ -1,0 +1,20 @@
+"""Offline optima and certified lower bounds used as competitive-ratio
+denominators: closed-form single-job optima and a convex time-indexed
+relaxation with a Lagrangian dual certificate."""
+
+from .bounds import OptBound, opt_fractional_lower_bound, opt_integral_lower_bound
+from .convex import ConvexBound, fractional_lower_bound, project_simplex, schedule_from_bound
+from .single_job import SingleJobOptimum, single_job_opt_fractional, single_job_opt_integral
+
+__all__ = [
+    "SingleJobOptimum",
+    "single_job_opt_fractional",
+    "single_job_opt_integral",
+    "ConvexBound",
+    "fractional_lower_bound",
+    "project_simplex",
+    "schedule_from_bound",
+    "OptBound",
+    "opt_fractional_lower_bound",
+    "opt_integral_lower_bound",
+]

@@ -1,0 +1,75 @@
+"""Exact offline optima for a single job under ``P(s) = s**alpha``.
+
+These are the only instances where the true offline optimum has a clean
+closed form, which makes them the anchor of the empirical competitive-ratio
+harness (every other lower bound is validated against them).
+
+**Fractional objective.**  Minimise ``∫ (rho*V(t) + s(t)**alpha) dt`` with
+``dV/dt = -s``, ``V(0)=V``, free end time.  Pontryagin's principle gives a
+costate ``p(t) = rho*(T-t)`` and the optimal speed
+
+    ``s*(t) = (rho*(T-t)/alpha)**(1/(alpha-1))``,
+
+with ``T`` fixed by ``∫ s* = V``.  The resulting costs satisfy
+``flow = (alpha-1) * energy`` (so the objective is ``alpha * energy``) — a
+closed-form identity the tests assert.
+
+**Integral objective.**  The flow cost is ``rho*V*T`` regardless of the speed
+profile, so by Jensen the optimum runs at *constant* speed ``V/T``; optimising
+``rho*V*T + V**alpha * T**(1-alpha)`` over ``T`` gives
+``T* = ((alpha-1) * V**(alpha-1) / rho)**(1/alpha)``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["SingleJobOptimum", "single_job_opt_fractional", "single_job_opt_integral"]
+
+
+@dataclass(frozen=True, slots=True)
+class SingleJobOptimum:
+    """The optimal single-job schedule summary."""
+
+    duration: float  # T: completion time minus release time
+    energy: float
+    flow: float
+
+    @property
+    def objective(self) -> float:
+        return self.energy + self.flow
+
+
+def _check(volume: float, rho: float, alpha: float) -> None:
+    if volume <= 0 or not math.isfinite(volume):
+        raise ValueError(f"volume must be finite > 0, got {volume}")
+    if rho <= 0 or not math.isfinite(rho):
+        raise ValueError(f"density must be finite > 0, got {rho}")
+    if alpha <= 1:
+        raise ValueError(f"alpha must exceed 1, got {alpha}")
+
+
+def single_job_opt_fractional(volume: float, rho: float, alpha: float) -> SingleJobOptimum:
+    """Optimal fractional flow-time plus energy for one job (closed form)."""
+    _check(volume, rho, alpha)
+    q = alpha / (alpha - 1.0)  # the recurring exponent
+    # T from the volume constraint: (rho/alpha)^{1/(alpha-1)} * T^q / q = V.
+    duration = (volume * q * (alpha / rho) ** (1.0 / (alpha - 1.0))) ** (1.0 / q)
+    # E = (rho/alpha)^q * T^{q+1} / (q+1).
+    energy = (rho / alpha) ** q * duration ** (q + 1.0) / (q + 1.0)
+    flow = (alpha - 1.0) * energy
+    return SingleJobOptimum(duration=duration, energy=energy, flow=flow)
+
+
+def single_job_opt_integral(volume: float, rho: float, alpha: float) -> SingleJobOptimum:
+    """Optimal integral flow-time plus energy for one job (closed form).
+
+    Constant speed ``V/T*`` with ``T* = ((alpha-1) V**(alpha-1) / rho)**(1/alpha)``;
+    at the optimum ``flow = rho*V*T*`` and ``energy = flow / (alpha-1)``.
+    """
+    _check(volume, rho, alpha)
+    duration = ((alpha - 1.0) * volume ** (alpha - 1.0) / rho) ** (1.0 / alpha)
+    energy = volume**alpha * duration ** (1.0 - alpha)
+    flow = rho * volume * duration
+    return SingleJobOptimum(duration=duration, energy=energy, flow=flow)

@@ -1,0 +1,33 @@
+"""Identical parallel machines (§6): the clairvoyant greedy-dispatch baseline
+C-PAR, the non-clairvoyant global-FIFO algorithm NC-PAR, volume-oblivious
+immediate-dispatch rules, and the Ω(k^(1-1/α)) lower-bound adversary."""
+
+from .c_par import remaining_weight_on_machine, simulate_c_par
+from .cluster import ClusterRun
+from .dispatch import (
+    DISPATCH_RULES,
+    least_count,
+    round_robin,
+    seeded_random_rule,
+    simulate_immediate_dispatch,
+)
+from .lower_bound import AdversaryOutcome, adversarial_instance, adversarial_ratio
+from .nc_par import simulate_nc_par
+from .nonuniform_dispatch import simulate_c_hdf_par, simulate_nc_hdf_par
+
+__all__ = [
+    "ClusterRun",
+    "simulate_c_par",
+    "remaining_weight_on_machine",
+    "simulate_nc_par",
+    "DISPATCH_RULES",
+    "round_robin",
+    "least_count",
+    "seeded_random_rule",
+    "simulate_immediate_dispatch",
+    "AdversaryOutcome",
+    "adversarial_instance",
+    "adversarial_ratio",
+    "simulate_nc_hdf_par",
+    "simulate_c_hdf_par",
+]

@@ -1,0 +1,61 @@
+"""Identical parallel machines: shared result container and evaluation.
+
+A cluster run is, per machine, an ordinary single-machine schedule over the
+jobs assigned to it (the paper's model forbids migration, so each job lives
+entirely on one machine).  Costs are evaluated per machine with the exact
+single-machine machinery and merged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.errors import ScheduleError
+from ..core.job import Instance
+from ..core.metrics import CostReport, evaluate
+from ..core.power import PowerFunction
+from ..core.schedule import Schedule
+
+__all__ = ["ClusterRun"]
+
+
+@dataclass(frozen=True)
+class ClusterRun:
+    """Assignments and per-machine schedules of a parallel-machine algorithm."""
+
+    instance: Instance
+    power: PowerFunction
+    machines: int
+    #: machine index -> job ids in assignment order
+    assignments: dict[int, list[int]]
+    #: machine index -> that machine's schedule
+    schedules: dict[int, Schedule]
+
+    def __post_init__(self) -> None:
+        assigned = [j for jobs in self.assignments.values() for j in jobs]
+        if sorted(assigned) != sorted(self.instance.job_ids):
+            raise ScheduleError("assignments must partition the instance's jobs")
+
+    def machine_of(self, job_id: int) -> int:
+        for machine, jobs in self.assignments.items():
+            if job_id in jobs:
+                return machine
+        raise KeyError(f"job {job_id} not assigned")
+
+    def machine_instance(self, machine: int) -> Instance | None:
+        jobs = self.assignments.get(machine, [])
+        return self.instance.subset(jobs) if jobs else None
+
+    def report(self, *, validate: bool = True) -> CostReport:
+        """Exact combined cost report over all machines."""
+        merged: CostReport | None = None
+        for machine, jobs in self.assignments.items():
+            if not jobs:
+                continue
+            sub = self.instance.subset(jobs)
+            assert sub is not None
+            rep = evaluate(self.schedules[machine], sub, self.power, validate=validate)
+            merged = rep if merged is None else merged.merged_with(rep)
+        if merged is None:
+            raise ScheduleError("cluster run assigned no jobs")
+        return merged

@@ -1,0 +1,80 @@
+"""Algorithm NC-PAR — non-clairvoyant parallel scheduling without immediate
+dispatch (§6, uniform densities).
+
+The algorithm keeps a single **global FIFO queue** of unassigned jobs.
+Whenever a machine is *available* — all jobs previously assigned to it are
+complete — it takes the head of the queue (so each machine processes one job
+at a time).  The machine's instantaneous speed follows Algorithm NC on its
+*machine-local* instance: while it processes job ``j``,
+``P(s) = W^C(r[j]-) + W̆[j](t)`` where the shadow clairvoyant run is over the
+jobs previously assigned to this machine (all completed, hence of known
+volume, and all released before ``r[j]`` because the global queue is FIFO).
+
+Lemma 20: NC-PAR's assignment is *identical* to C-PAR's greedy immediate
+dispatch (machine availability order coincides with least-remaining-weight
+order, via Lemma 2's monotonicity and Lemma 6's speed-profile equivalence) —
+reproduced here as an exact property test.  Combined with Lemmas 21/22
+(energy equality, flow ratio ``1/(1-1/alpha)`` per machine), Theorem 17 gives
+an ``O(alpha + 1/(alpha-1))`` competitive ratio.
+"""
+
+from __future__ import annotations
+
+from ..core.errors import InvalidInstanceError
+from ..core.job import Instance
+from ..core.kernels import growth_time_between
+from ..core.power import PowerLaw
+from ..core.schedule import GrowthSegment, ScheduleBuilder
+from ..algorithms.clairvoyant import simulate_clairvoyant
+from .cluster import ClusterRun
+
+__all__ = ["simulate_nc_par"]
+
+
+def simulate_nc_par(instance: Instance, power: PowerLaw, machines: int) -> ClusterRun:
+    """Run NC-PAR exactly (closed-form per-job growth segments)."""
+    if machines < 1:
+        raise InvalidInstanceError(f"machines must be >= 1, got {machines}")
+    if not instance.is_uniform_density():
+        raise InvalidInstanceError("NC-PAR (§6) is defined for uniform densities")
+    alpha = power.alpha
+
+    free = [0.0] * machines  # time each machine completes its assigned work
+    assignments: dict[int, list[int]] = {i: [] for i in range(machines)}
+    builders = {i: ScheduleBuilder() for i in range(machines)}
+
+    for job in instance:  # global FIFO queue == release order
+        # Pick the machine that is (or first becomes) available.  Among
+        # machines already idle at the release, the fixed total order (index)
+        # breaks the tie — the same order C-PAR uses.
+        idle = [i for i in range(machines) if free[i] <= job.release]
+        chosen = min(idle) if idle else min(range(machines), key=lambda i: (free[i], i))
+        start = max(job.release, free[chosen])
+
+        # Speed-rule offset: Algorithm C's remaining weight just before r[j]
+        # on the machine-local instance of previously assigned (completed,
+        # hence known) jobs.
+        prev = assignments[chosen]
+        if prev:
+            sub = instance.subset(prev)
+            assert sub is not None
+            shadow = simulate_clairvoyant(sub, power, until=job.release)
+            offset = sum(sub[jid].density * v for jid, v in shadow.remaining.items())
+        else:
+            offset = 0.0
+
+        tau = growth_time_between(offset, offset + job.weight, job.density, alpha)
+        builders[chosen].append(
+            GrowthSegment(start, start + tau, job.job_id, offset, job.density, alpha)
+        )
+        assignments[chosen].append(job.job_id)
+        free[chosen] = start + tau
+
+    schedules = {i: builders[i].build() for i in range(machines) if assignments[i]}
+    return ClusterRun(
+        instance=instance,
+        power=power,
+        machines=machines,
+        assignments=assignments,
+        schedules=schedules,
+    )

@@ -1,0 +1,33 @@
+"""Workload generation: seeded random streams, adversarial/structured
+instances from the paper's arguments, and the intro's cloud-billing model."""
+
+from .adversarial import (
+    burst_instance,
+    escalating_volumes_instance,
+    geometric_density_instance,
+    staircase_instance,
+    volume_for_unit_cost,
+)
+from .cloud import BillingSummary, Tenant, billing_summary, cloud_instance
+from .random_instances import DENSITY_MODELS, VOLUME_MODELS, poisson_releases, random_instance
+from .trace import parse_trace, read_trace, trace_from_string, write_trace
+
+__all__ = [
+    "random_instance",
+    "poisson_releases",
+    "VOLUME_MODELS",
+    "DENSITY_MODELS",
+    "burst_instance",
+    "staircase_instance",
+    "geometric_density_instance",
+    "escalating_volumes_instance",
+    "volume_for_unit_cost",
+    "Tenant",
+    "cloud_instance",
+    "billing_summary",
+    "BillingSummary",
+    "read_trace",
+    "write_trace",
+    "parse_trace",
+    "trace_from_string",
+]

@@ -1,0 +1,120 @@
+"""Adversarial and structured instances from the paper's arguments.
+
+* :func:`burst_instance` — all jobs arrive in tight bursts; stresses the
+  FIFO/HDF conflict of §1.2 (many jobs queued behind one being probed).
+* :func:`staircase_instance` — each job released exactly when the previous
+  one would finish under Algorithm C; the regime where the clairvoyant and
+  non-clairvoyant runs are maximally out of phase.
+* :func:`geometric_density_instance` — the §7 observation: ``l`` jobs with
+  densities ``1, rho, rho**2, ...``, each calibrated to cost ``c`` when
+  processed alone; the paper shows all of them on a *single* machine cost at
+  most ``4*l*c`` once ``rho >= 4`` (so density spread cannot substitute for
+  the uniform-density dispatch lower bound).
+* :func:`escalating_volumes_instance` — volumes growing geometrically, FIFO's
+  worst ordering relative to SRPT-style rules.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..core.job import Instance, Job
+from ..core.kernels import decay_time_to_zero
+from ..offline.single_job import single_job_opt_fractional
+
+__all__ = [
+    "burst_instance",
+    "staircase_instance",
+    "geometric_density_instance",
+    "escalating_volumes_instance",
+    "volume_for_unit_cost",
+]
+
+
+def burst_instance(
+    bursts: int,
+    per_burst: int,
+    *,
+    gap: float = 5.0,
+    volume: float = 1.0,
+    density: float = 1.0,
+    jitter: float = 1e-3,
+) -> Instance:
+    """``bursts`` bursts of ``per_burst`` jobs, ``gap`` apart; releases within
+    a burst are jittered so they stay distinct (the paper's w.l.o.g.)."""
+    if bursts < 1 or per_burst < 1:
+        raise ValueError("need at least one burst and one job per burst")
+    jobs = []
+    jid = 0
+    for b in range(bursts):
+        for i in range(per_burst):
+            jobs.append(Job(jid, b * gap + i * jitter, volume, density))
+            jid += 1
+    return Instance(jobs)
+
+
+def staircase_instance(
+    n: int, *, volume: float = 1.0, density: float = 1.0, alpha: float = 3.0, overlap: float = 0.5
+) -> Instance:
+    """Job ``i+1`` is released when Algorithm C would be ``overlap`` of the
+    way through job ``i`` (run in isolation): a sustained marginal backlog."""
+    if not 0.0 <= overlap <= 1.0:
+        raise ValueError(f"overlap must be in [0, 1], got {overlap}")
+    solo = decay_time_to_zero(density * volume, density, alpha)
+    jobs = [Job(i, i * solo * overlap, volume, density) for i in range(n)]
+    return Instance(jobs)
+
+
+def volume_for_unit_cost(cost: float, density: float, alpha: float) -> float:
+    """The volume whose *single-job offline optimum* (fractional objective)
+    equals ``cost``.  Closed-form inversion: the optimum scales as
+    ``obj ∝ V**((2*alpha-1)/alpha)`` at fixed density, so bisection is not
+    needed — but we bisect anyway to stay valid for future power models."""
+    if cost <= 0:
+        raise ValueError(f"cost must be > 0, got {cost}")
+    lo, hi = 1e-12, 1.0
+    while single_job_opt_fractional(hi, density, alpha).objective < cost:
+        hi *= 2.0
+        if hi > 1e30:
+            raise ValueError("cost unreachable")
+    for _ in range(200):
+        mid = 0.5 * (lo + hi)
+        if single_job_opt_fractional(mid, density, alpha).objective < cost:
+            lo = mid
+        else:
+            hi = mid
+    return 0.5 * (lo + hi)
+
+
+def geometric_density_instance(
+    l: int, rho: float, *, unit_cost: float = 1.0, alpha: float = 3.0
+) -> Instance:
+    """The §7 family: densities ``rho**0 .. rho**(l-1)``, volumes calibrated
+    so each job alone has offline optimum ``unit_cost``.  All released at 0
+    (jittered to keep releases distinct)."""
+    if l < 1:
+        raise ValueError(f"need l >= 1, got {l}")
+    if rho <= 1:
+        raise ValueError(f"need rho > 1, got {rho}")
+    jobs = []
+    for i in range(l):
+        d = rho**i
+        v = volume_for_unit_cost(unit_cost, d, alpha)
+        jobs.append(Job(i, i * 1e-9, v, d))
+    return Instance(jobs)
+
+
+def escalating_volumes_instance(
+    n: int, *, base: float = 0.1, factor: float = 2.0, density: float = 1.0, spacing: float = 0.1
+) -> Instance:
+    """Volumes ``base * factor**i`` with tight spacing: FIFO keeps probing an
+    ever-larger job while small ones queue up behind it."""
+    if factor <= 0 or base <= 0:
+        raise ValueError("base and factor must be > 0")
+    try:
+        top = base * factor ** max(n - 1, 0)
+    except OverflowError:
+        top = math.inf
+    if not math.isfinite(top):
+        raise ValueError("volumes overflow; shrink n or factor")
+    return Instance(Job(i, i * spacing, base * factor**i, density) for i in range(n))

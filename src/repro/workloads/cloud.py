@@ -1,0 +1,97 @@
+"""The cloud-computing workload from the paper's introduction.
+
+A customer pays ``lambda - rho * t_delay`` per unit volume; the only term the
+scheduler controls is the penalty ``rho * F_int[j] * V[j]`` — weighted
+flow-time with weight ``rho[j] * V[j]``, i.e. *density* ``rho[j]``.  The
+penalty rate is in the contract (known at release); the job's volume is
+whatever the customer submitted (unknown until it finishes): exactly the
+known-density, unknown-volume model.
+
+:func:`cloud_instance` builds a multi-tenant stream — tenants differ in SLA
+penalty rate and job-size profile — and :func:`billing_summary` converts a
+schedule's cost report back into the revenue language of the introduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.job import Instance, Job
+from ..core.metrics import CostReport
+
+__all__ = ["Tenant", "cloud_instance", "billing_summary", "BillingSummary"]
+
+
+@dataclass(frozen=True, slots=True)
+class Tenant:
+    """A cloud customer: payment rate ``lam``, SLA penalty rate ``penalty``
+    (the job density), and a lognormal job-size profile."""
+
+    name: str
+    lam: float
+    penalty: float
+    mean_volume: float
+    sigma: float = 0.8
+    submit_rate: float = 1.0
+
+
+DEFAULT_TENANTS = (
+    Tenant("batch-analytics", lam=2.0, penalty=0.25, mean_volume=4.0, submit_rate=0.4),
+    Tenant("web-backend", lam=5.0, penalty=4.0, mean_volume=0.3, submit_rate=2.0),
+    Tenant("ml-training", lam=3.0, penalty=1.0, mean_volume=2.0, submit_rate=0.6),
+)
+
+
+def cloud_instance(
+    jobs_per_tenant: int,
+    seed: int,
+    tenants: tuple[Tenant, ...] = DEFAULT_TENANTS,
+) -> tuple[Instance, dict[int, Tenant]]:
+    """A merged multi-tenant job stream; returns the instance and the job ->
+    tenant mapping (for billing)."""
+    if jobs_per_tenant < 1:
+        raise ValueError(f"need jobs_per_tenant >= 1, got {jobs_per_tenant}")
+    rng = np.random.default_rng(seed)
+    jobs: list[Job] = []
+    owner: dict[int, Tenant] = {}
+    jid = 0
+    for tenant in tenants:
+        releases = np.cumsum(rng.exponential(1.0 / tenant.submit_rate, size=jobs_per_tenant))
+        mu = np.log(tenant.mean_volume) - tenant.sigma**2 / 2.0
+        volumes = rng.lognormal(mu, tenant.sigma, size=jobs_per_tenant)
+        for r, v in zip(releases, volumes):
+            jobs.append(Job(jid, float(r), float(max(v, 1e-9)), tenant.penalty))
+            owner[jid] = tenant
+            jid += 1
+    return Instance(jobs), owner
+
+
+@dataclass(frozen=True)
+class BillingSummary:
+    """Revenue accounting for one schedule (the intro's payment model)."""
+
+    gross_payment: float  # sum of lambda * V over jobs
+    delay_penalty: float  # sum of rho * F_int * V == the integral flow-time
+    energy_cost: float
+
+    @property
+    def net(self) -> float:
+        return self.gross_payment - self.delay_penalty - self.energy_cost
+
+
+def billing_summary(
+    report: CostReport, instance: Instance, owner: dict[int, Tenant]
+) -> BillingSummary:
+    """Translate a :class:`CostReport` into the intro's revenue terms.
+
+    The delay penalty for job ``j`` is ``rho_j * V_j * (c_j - r_j)`` — the
+    report's integral flow-time (weight = density * volume).
+    """
+    gross = sum(owner[j.job_id].lam * j.volume for j in instance)
+    return BillingSummary(
+        gross_payment=gross,
+        delay_penalty=report.integral_flow,
+        energy_cost=report.energy,
+    )

@@ -1,0 +1,118 @@
+"""Seeded random workload generators.
+
+The paper has no testbed traces — evaluation instances are synthetic.  These
+generators cover the regimes the analysis cares about: memoryless arrivals,
+heavy-tailed volumes (where non-clairvoyance hurts most — the algorithm
+cannot see the elephant coming), and several density models for the
+non-uniform case.  Everything is driven by ``numpy.random.default_rng`` so
+instances are exactly reproducible from a seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.job import Instance, Job
+
+__all__ = [
+    "poisson_releases",
+    "VOLUME_MODELS",
+    "DENSITY_MODELS",
+    "random_instance",
+]
+
+
+def poisson_releases(n: int, rate: float, rng: np.random.Generator) -> np.ndarray:
+    """``n`` arrival times of a Poisson process with the given rate."""
+    if n < 1:
+        raise ValueError(f"need n >= 1, got {n}")
+    if rate <= 0:
+        raise ValueError(f"rate must be > 0, got {rate}")
+    return np.cumsum(rng.exponential(1.0 / rate, size=n))
+
+
+def _volumes_exponential(n: int, rng: np.random.Generator, mean: float = 1.0) -> np.ndarray:
+    return rng.exponential(mean, size=n)
+
+
+def _volumes_pareto(
+    n: int, rng: np.random.Generator, shape: float = 1.5, scale: float = 0.5
+) -> np.ndarray:
+    """Heavy-tailed volumes: Pareto with the given tail index (shape < 2 has
+    infinite variance — the adversarial regime for non-clairvoyance)."""
+    return scale * (1.0 + rng.pareto(shape, size=n))
+
+
+def _volumes_uniform(n: int, rng: np.random.Generator, low: float = 0.2, high: float = 2.0) -> np.ndarray:
+    return rng.uniform(low, high, size=n)
+
+
+def _volumes_bimodal(
+    n: int,
+    rng: np.random.Generator,
+    small: float = 0.1,
+    large: float = 5.0,
+    p_large: float = 0.2,
+) -> np.ndarray:
+    """Mice and elephants: mostly small jobs with occasional huge ones."""
+    picks = rng.random(size=n) < p_large
+    return np.where(picks, large, small) * rng.uniform(0.8, 1.2, size=n)
+
+
+VOLUME_MODELS = {
+    "exponential": _volumes_exponential,
+    "pareto": _volumes_pareto,
+    "uniform": _volumes_uniform,
+    "bimodal": _volumes_bimodal,
+}
+
+
+def _densities_unit(n: int, rng: np.random.Generator) -> np.ndarray:
+    return np.ones(n)
+
+
+def _densities_loguniform(
+    n: int, rng: np.random.Generator, low: float = 0.1, high: float = 10.0
+) -> np.ndarray:
+    return np.exp(rng.uniform(np.log(low), np.log(high), size=n))
+
+
+def _densities_powers(
+    n: int, rng: np.random.Generator, beta: float = 5.0, classes: int = 4
+) -> np.ndarray:
+    """Densities already on the rounded grid beta**k — isolates NC-general's
+    scheduling behaviour from the rounding loss."""
+    ks = rng.integers(0, classes, size=n)
+    return beta ** ks.astype(float)
+
+
+DENSITY_MODELS = {
+    "unit": _densities_unit,
+    "loguniform": _densities_loguniform,
+    "powers": _densities_powers,
+}
+
+
+def random_instance(
+    n: int,
+    seed: int,
+    *,
+    rate: float = 1.0,
+    volume: str = "exponential",
+    density: str = "unit",
+    volume_params: dict | None = None,
+    density_params: dict | None = None,
+) -> Instance:
+    """A reproducible random instance.
+
+    ``volume`` selects from :data:`VOLUME_MODELS`, ``density`` from
+    :data:`DENSITY_MODELS`; extra distribution parameters go in the
+    ``*_params`` dicts.
+    """
+    rng = np.random.default_rng(seed)
+    releases = poisson_releases(n, rate, rng)
+    vols = VOLUME_MODELS[volume](n, rng, **(volume_params or {}))
+    dens = DENSITY_MODELS[density](n, rng, **(density_params or {}))
+    return Instance(
+        Job(i, float(releases[i]), float(max(vols[i], 1e-9)), float(dens[i])) for i in range(n)
+    )

@@ -1,0 +1,202 @@
+"""Tests for the analysis harness: ratios, curves, preemption intervals,
+rendering and Table 1 assembly."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Instance, Job, PowerLaw
+from repro.algorithms.clairvoyant import simulate_clairvoyant
+from repro.algorithms.nc_uniform import simulate_nc_uniform
+from repro.analysis import (
+    empirical_ratio,
+    format_ascii_chart,
+    format_table,
+    nonuniform_suite,
+    power_curve,
+    preemption_intervals,
+    processed_weight_curve,
+    remaining_weight_curve,
+    run_algorithm,
+    speed_curve,
+    theoretical_bound,
+    uniform_suite,
+)
+from repro.analysis.tables import build_table1
+
+
+class TestRunAlgorithm:
+    @pytest.mark.parametrize("name", ["C", "NC", "ACTIVE_COUNT", "CONSTANT_SPEED"])
+    def test_uniform_algorithms_run(self, cube, three_jobs, name):
+        rep = run_algorithm(name, three_jobs, cube)
+        assert rep.energy >= 0
+        assert set(rep.completion_times) == set(three_jobs.job_ids)
+
+    def test_nc_general_runs(self, cube, mixed_density_jobs):
+        rep = run_algorithm("NC_GENERAL", mixed_density_jobs, cube, max_step=2e-2)
+        assert set(rep.completion_times) == set(mixed_density_jobs.job_ids)
+
+    def test_integral_variants(self, cube, three_jobs):
+        rep = run_algorithm("NC_INT", three_jobs, cube, conversion_epsilon=0.5)
+        assert rep.integral_objective > 0
+
+    def test_unknown_name(self, cube, three_jobs):
+        with pytest.raises(ValueError):
+            run_algorithm("WAT", three_jobs, cube)
+
+
+class TestEmpiricalRatio:
+    def test_c_is_2_competitive_fractional(self, cube, three_jobs):
+        res = empirical_ratio("C", three_jobs, cube, slots=200, iterations=800)
+        assert 1.0 <= res.ratio <= 2.0 + 1e-9
+
+    def test_nc_within_theorem5(self, cube, three_jobs):
+        res = empirical_ratio("NC", three_jobs, cube, slots=200, iterations=800)
+        assert res.ratio <= 2.0 + 1.0 / (3.0 - 1.0) + 1e-9
+
+    def test_integral_objective_choice(self, cube, three_jobs):
+        res = empirical_ratio("NC", three_jobs, cube, objective="integral", slots=150, iterations=600)
+        assert res.objective == "integral"
+        assert res.ratio <= 3.0 + 0.5 + 1e-9
+
+    def test_rejects_bad_objective(self, cube, three_jobs):
+        with pytest.raises(ValueError):
+            empirical_ratio("NC", three_jobs, cube, objective="both")
+
+
+class TestCurves:
+    def test_power_curve_single_job_c_decreasing(self, cube):
+        inst = Instance([Job(0, 0.0, 2.0)])
+        run = simulate_clairvoyant(inst, cube)
+        curve = power_curve(run.schedule, cube, samples=64)
+        assert curve.values[0] == pytest.approx(2.0, rel=1e-6)  # P = W at t=0
+        assert all(a >= b - 1e-9 for a, b in zip(curve.values, curve.values[1:]))
+
+    def test_power_curve_single_job_nc_increasing_then_done(self, cube):
+        inst = Instance([Job(0, 0.0, 2.0)])
+        run = simulate_nc_uniform(inst, cube)
+        curve = power_curve(run.schedule, cube, samples=64)
+        assert curve.values[0] == pytest.approx(0.0, abs=1e-6)
+        assert curve.values[-1] == pytest.approx(2.0, rel=1e-2)
+
+    def test_nc_power_curve_is_c_reversed(self, cube):
+        """Fig 1: the NC power curve is the C curve in reverse."""
+        inst = Instance([Job(0, 0.0, 2.0)])
+        c = power_curve(simulate_clairvoyant(inst, cube).schedule, cube, samples=65)
+        nc = power_curve(simulate_nc_uniform(inst, cube).schedule, cube, samples=65)
+        for a, b in zip(nc.values, c.values[::-1]):
+            assert a == pytest.approx(b, rel=1e-6, abs=1e-9)
+
+    def test_remaining_weight_curve(self, cube, three_jobs):
+        run = simulate_clairvoyant(three_jobs, cube)
+        curve = remaining_weight_curve(run.schedule, three_jobs, samples=64)
+        assert curve.values[0] == pytest.approx(4.0)
+        assert curve.values[-1] == pytest.approx(0.0, abs=1e-6)
+
+    def test_processed_weight_curve_monotone(self, cube, three_jobs):
+        run = simulate_nc_uniform(three_jobs, cube)
+        curve = processed_weight_curve(run.schedule, three_jobs, samples=64)
+        assert all(b >= a - 1e-9 for a, b in zip(curve.values, curve.values[1:]))
+        assert curve.values[-1] == pytest.approx(three_jobs.total_weight, rel=1e-6)
+
+    def test_speed_curve_and_area(self, cube):
+        inst = Instance([Job(0, 0.0, 2.0)])
+        curve = speed_curve(simulate_clairvoyant(inst, cube).schedule, samples=2000)
+        assert curve.area() == pytest.approx(2.0, rel=1e-2)  # ∫s = volume
+
+
+class TestPreemptionIntervals:
+    def make_run(self, cube):
+        # j* = job 0 (low density); two higher-density arrivals preempt it.
+        inst = Instance(
+            [
+                Job(0, 0.0, 4.0, 1.0),
+                Job(1, 0.5, 0.5, 10.0),
+                Job(2, 2.0, 0.5, 10.0),
+            ]
+        )
+        return inst, simulate_clairvoyant(inst, cube)
+
+    def test_two_intervals_found(self, cube):
+        inst, run = self.make_run(cube)
+        ivs = preemption_intervals(run, 0)
+        assert len(ivs) == 2
+        assert ivs[0].start == pytest.approx(0.5)
+        assert ivs[1].start == pytest.approx(2.0)
+
+    def test_volumes_match_preempting_jobs(self, cube):
+        inst, run = self.make_run(cube)
+        ivs = preemption_intervals(run, 0)
+        assert ivs[0].volume == pytest.approx(0.5, rel=1e-9)
+        assert ivs[0].preempting_jobs == (1,)
+
+    def test_weight_before_is_left_limit(self, cube):
+        inst, run = self.make_run(cube)
+        ivs = preemption_intervals(run, 0)
+        # W just before the release of job 1 excludes job 1's weight.
+        assert ivs[0].weight_before == pytest.approx(
+            run.remaining_weight_at(0.5, include_release_at_t=False), rel=1e-12
+        )
+
+    def test_no_intervals_for_highest_density(self, cube):
+        inst, run = self.make_run(cube)
+        assert preemption_intervals(run, 1) == []
+
+    def test_equal_density_not_preemption(self, cube):
+        inst = Instance([Job(0, 0.0, 2.0), Job(1, 0.5, 1.0)])
+        run = simulate_clairvoyant(inst, cube)
+        assert preemption_intervals(run, 0) == []
+
+
+class TestRendering:
+    def test_format_table_alignment(self):
+        out = format_table(["name", "x"], [["a", 1.0], ["bb", 22.5]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1]
+        assert "22.5" in lines[-1]
+
+    def test_format_table_empty_rows(self):
+        out = format_table(["a"], [])
+        assert "a" in out
+
+    def test_ascii_chart_contains_series(self):
+        out = format_ascii_chart(
+            [("up", [0, 1, 2], [0, 1, 2]), ("down", [0, 1, 2], [2, 1, 0])],
+            width=20,
+            height=8,
+            title="chart",
+        )
+        assert "chart" in out
+        assert "up" in out and "down" in out
+        assert "*" in out and "o" in out
+
+    def test_ascii_chart_flat_series(self):
+        out = format_ascii_chart([("flat", [0, 1], [1, 1])], width=10, height=4)
+        assert "flat" in out
+
+
+class TestSuitesAndTable:
+    def test_uniform_suite_all_uniform(self):
+        for name, inst in uniform_suite(n=6, seeds=(1,)):
+            assert inst.is_uniform_density(), name
+
+    def test_nonuniform_suite_has_density_spread(self):
+        assert any(
+            not inst.is_uniform_density() for _, inst in nonuniform_suite(n=5, seeds=(1,))
+        )
+
+    def test_theoretical_bounds(self):
+        assert theoretical_bound("fractional", "unit", 3.0) == pytest.approx(2.5)
+        assert theoretical_bound("integral", "unit", 3.0) == pytest.approx(3.5)
+        assert theoretical_bound("fractional", "arbitrary", 3.0) is None
+
+    def test_build_table1_small(self):
+        rows = build_table1(
+            3.0, uniform_n=6, nonuniform_n=4, seeds=(1,), slots=120, iterations=400, max_step=5e-2
+        )
+        assert len(rows) == 4
+        for row in rows:
+            assert row.measured_max > 0
+            if row.theoretical is not None:
+                assert row.measured_max <= row.theoretical + 1e-6

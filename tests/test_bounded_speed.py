@@ -1,0 +1,142 @@
+"""Tests for the speed-bounded extension."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Instance, Job, PowerLaw
+from repro.algorithms import simulate_clairvoyant, simulate_nc_uniform
+from repro.core import evaluate
+from repro.core.errors import InvalidInstanceError, InvalidPowerFunctionError
+from repro.extensions import (
+    CappedPowerLaw,
+    simulate_clairvoyant_capped,
+    simulate_nc_uniform_capped,
+)
+
+from conftest import uniform_instances
+
+
+class TestCappedPowerLaw:
+    def test_clip_inverse(self):
+        p = CappedPowerLaw(3.0, 2.0)
+        assert p.speed(1.0) == pytest.approx(1.0)
+        assert p.speed(1000.0) == pytest.approx(2.0)
+
+    def test_power_rejects_infeasible_speed(self):
+        p = CappedPowerLaw(3.0, 2.0)
+        with pytest.raises(ValueError):
+            p.power(3.0)
+
+    def test_saturation_weight(self):
+        assert CappedPowerLaw(3.0, 2.0).saturation_weight == pytest.approx(8.0)
+
+    def test_rejects_bad_cap(self):
+        with pytest.raises(InvalidPowerFunctionError):
+            CappedPowerLaw(3.0, 0.0)
+
+    def test_equality(self):
+        assert CappedPowerLaw(3.0, 2.0) == CappedPowerLaw(3.0, 2.0)
+        assert CappedPowerLaw(3.0, 2.0) != CappedPowerLaw(3.0, 3.0)
+        assert CappedPowerLaw(3.0, 2.0) != PowerLaw(3.0)
+
+
+class TestCappedClairvoyant:
+    def test_cap_respected(self, three_jobs):
+        p = CappedPowerLaw(3.0, 1.1)
+        run = simulate_clairvoyant_capped(three_jobs, p)
+        assert run.max_observed_speed() <= 1.1 + 1e-9
+
+    def test_loose_cap_reduces_to_uncapped(self, three_jobs):
+        p = CappedPowerLaw(3.0, 100.0)
+        capped = evaluate(simulate_clairvoyant_capped(three_jobs, p).schedule, three_jobs, p)
+        plain = evaluate(
+            simulate_clairvoyant(three_jobs, PowerLaw(3.0)).schedule, three_jobs, PowerLaw(3.0)
+        )
+        assert capped.fractional_objective == pytest.approx(plain.fractional_objective, rel=1e-12)
+
+    def test_tight_cap_costs_more_flow(self, three_jobs):
+        loose = CappedPowerLaw(3.0, 100.0)
+        tight = CappedPowerLaw(3.0, 0.8)
+        f_loose = evaluate(
+            simulate_clairvoyant_capped(three_jobs, loose).schedule, three_jobs, loose
+        ).fractional_flow
+        f_tight = evaluate(
+            simulate_clairvoyant_capped(three_jobs, tight).schedule, three_jobs, tight
+        ).fractional_flow
+        assert f_tight > f_loose
+
+    def test_saturated_phase_is_linear(self):
+        """While W > P(s_max), weight decreases at rate rho*s_max."""
+        p = CappedPowerLaw(3.0, 1.0)  # saturation weight 1.0
+        inst = Instance([Job(0, 0.0, 5.0)])
+        run = simulate_clairvoyant_capped(inst, p)
+        # first 4 volume units at speed 1 -> 4 time units saturated
+        seg = run.schedule.segments[0]
+        assert seg.speed_at(seg.t0) == pytest.approx(1.0)
+        assert seg.duration == pytest.approx(4.0, rel=1e-9)
+
+    def test_until_horizon(self, three_jobs):
+        p = CappedPowerLaw(3.0, 1.0)
+        run = simulate_clairvoyant_capped(three_jobs, p, until=1.0)
+        assert run.clock == pytest.approx(1.0)
+        assert sum(run.remaining.values()) > 0
+
+    def test_requires_capped_power(self, three_jobs):
+        with pytest.raises(TypeError):
+            simulate_clairvoyant_capped(three_jobs, PowerLaw(3.0))  # type: ignore[arg-type]
+
+    @given(uniform_instances(max_jobs=5), st.floats(min_value=0.5, max_value=5.0))
+    @settings(max_examples=20, deadline=None)
+    def test_valid_schedules(self, inst, s_max):
+        p = CappedPowerLaw(3.0, s_max)
+        run = simulate_clairvoyant_capped(inst, p)
+        rep = evaluate(run.schedule, inst, p)
+        assert set(rep.completion_times) == set(inst.job_ids)
+
+
+class TestCappedNC:
+    def test_cap_respected(self, three_jobs):
+        p = CappedPowerLaw(3.0, 1.1)
+        run = simulate_nc_uniform_capped(three_jobs, p)
+        assert run.max_observed_speed() <= 1.1 + 1e-9
+
+    def test_loose_cap_reduces_to_uncapped(self, three_jobs):
+        p = CappedPowerLaw(3.0, 100.0)
+        capped = evaluate(simulate_nc_uniform_capped(three_jobs, p).schedule, three_jobs, p)
+        plain = evaluate(
+            simulate_nc_uniform(three_jobs, PowerLaw(3.0)).schedule, three_jobs, PowerLaw(3.0)
+        )
+        assert capped.fractional_objective == pytest.approx(plain.fractional_objective, rel=1e-9)
+
+    def test_rejects_nonuniform(self, mixed_density_jobs):
+        p = CappedPowerLaw(3.0, 1.0)
+        with pytest.raises(InvalidInstanceError):
+            simulate_nc_uniform_capped(mixed_density_jobs, p)
+
+    @given(
+        uniform_instances(max_jobs=6),
+        st.floats(min_value=0.5, max_value=4.0),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_energy_equality_survives_the_cap(self, inst, s_max):
+        """The Lemma-3 analogue in the bounded-speed model: the clipped NC
+        profile is still a rearrangement of the clipped C profile, so the
+        energies agree exactly."""
+        p = CappedPowerLaw(3.0, s_max)
+        e_nc = evaluate(simulate_nc_uniform_capped(inst, p).schedule, inst, p).energy
+        e_c = evaluate(simulate_clairvoyant_capped(inst, p).schedule, inst, p).energy
+        assert e_nc == pytest.approx(e_c, rel=1e-7)
+
+    @given(uniform_instances(max_jobs=5), st.floats(min_value=0.5, max_value=4.0))
+    @settings(max_examples=20, deadline=None)
+    def test_flow_ratio_at_most_uncapped(self, inst, s_max):
+        """The cap compresses the flow gap: ratio <= 1/(1-1/alpha)."""
+        alpha = 3.0
+        p = CappedPowerLaw(alpha, s_max)
+        f_nc = evaluate(simulate_nc_uniform_capped(inst, p).schedule, inst, p).fractional_flow
+        f_c = evaluate(simulate_clairvoyant_capped(inst, p).schedule, inst, p).fractional_flow
+        assert f_nc <= f_c / (1 - 1 / alpha) * (1 + 1e-7)
+        assert f_nc >= f_c * (1 - 1e-9)  # NC is never better than C on flow

@@ -1,0 +1,186 @@
+"""Tests for Algorithm C: HDF order, the power-equals-weight rule, Theorem 1's
+flow==energy identity, and the Lemma 2 relations."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Instance, Job, PowerLaw
+from repro.algorithms.clairvoyant import hdf_key, simulate_clairvoyant
+from repro.core.kernels import decay_time_to_zero
+from repro.core.metrics import evaluate
+
+from conftest import alphas, general_instances, uniform_instances
+
+
+class TestHdfKey:
+    def test_orders_by_density_then_release(self):
+        a = Job(0, 1.0, 1.0, 5.0)
+        b = Job(1, 0.0, 1.0, 1.0)
+        c = Job(2, 0.5, 1.0, 5.0)
+        assert sorted([a, b, c], key=hdf_key) == [c, a, b]
+
+
+class TestSingleJob:
+    @given(
+        st.floats(min_value=0.1, max_value=50.0),
+        st.floats(min_value=0.2, max_value=5.0),
+        alphas,
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_lemma2_completion_time(self, volume, rho, alpha):
+        """Lemma 2.2: rho*(1-1/alpha)*t = W^{1-1/alpha} for a lone job."""
+        power = PowerLaw(alpha)
+        inst = Instance([Job(0, 0.0, volume, rho)])
+        run = simulate_clairvoyant(inst, power)
+        t = run.completion_time(0)
+        w = rho * volume
+        assert rho * (1 - 1 / alpha) * t == pytest.approx(w ** (1 - 1 / alpha), rel=1e-9)
+
+    @given(
+        st.floats(min_value=0.1, max_value=50.0),
+        st.floats(min_value=0.2, max_value=5.0),
+        alphas,
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_flow_equals_energy(self, volume, rho, alpha):
+        power = PowerLaw(alpha)
+        inst = Instance([Job(0, 0.0, volume, rho)])
+        rep = evaluate(simulate_clairvoyant(inst, power).schedule, inst, power)
+        assert rep.fractional_flow == pytest.approx(rep.energy, rel=1e-9)
+
+    def test_initial_speed_is_power_inverse_of_weight(self, cube):
+        inst = Instance([Job(0, 0.0, 8.0, 1.0)])
+        run = simulate_clairvoyant(inst, cube)
+        assert run.schedule.speed_at(0.0) == pytest.approx(8.0 ** (1 / 3), rel=1e-9)
+
+
+class TestFlowEqualsEnergy:
+    """Theorem 1's structural identity holds for *every* instance."""
+
+    @given(uniform_instances(max_jobs=7))
+    @settings(max_examples=30, deadline=None)
+    def test_uniform(self, inst):
+        power = PowerLaw(3.0)
+        rep = evaluate(simulate_clairvoyant(inst, power).schedule, inst, power)
+        assert rep.fractional_flow == pytest.approx(rep.energy, rel=1e-7)
+
+    @given(general_instances(max_jobs=6))
+    @settings(max_examples=30, deadline=None)
+    def test_general_densities(self, inst):
+        power = PowerLaw(2.5)
+        rep = evaluate(simulate_clairvoyant(inst, power).schedule, inst, power)
+        assert rep.fractional_flow == pytest.approx(rep.energy, rel=1e-7)
+
+
+class TestHdfBehaviour:
+    def test_high_density_preempts(self, cube):
+        inst = Instance([Job(0, 0.0, 10.0, 1.0), Job(1, 0.5, 1.0, 100.0)])
+        run = simulate_clairvoyant(inst, cube)
+        assert run.schedule.job_at(0.25) == 0
+        assert run.schedule.job_at(0.6) == 1
+        assert run.completion_time(1) < run.completion_time(0)
+
+    def test_equal_density_fifo(self, cube):
+        inst = Instance([Job(0, 0.0, 2.0), Job(1, 0.5, 2.0)])
+        run = simulate_clairvoyant(inst, cube)
+        assert run.completion_time(0) < run.completion_time(1)
+
+    def test_idle_gap(self, cube):
+        inst = Instance([Job(0, 0.0, 0.5), Job(1, 50.0, 0.5)])
+        run = simulate_clairvoyant(inst, cube)
+        assert run.completion_time(0) < 50.0
+        assert run.schedule.speed_at(25.0) == 0.0
+
+    def test_speed_jumps_at_release(self, cube):
+        inst = Instance([Job(0, 0.0, 10.0), Job(1, 1.0, 10.0)])
+        run = simulate_clairvoyant(inst, cube)
+        before = run.schedule.speed_at(0.999)
+        after = run.schedule.speed_at(1.001)
+        assert after > before
+
+
+class TestRemainingWeight:
+    def test_initial_total(self, cube, three_jobs):
+        run = simulate_clairvoyant(three_jobs, cube)
+        assert run.remaining_weight_at(0.0) == pytest.approx(4.0)
+
+    def test_left_limit_excludes_release(self, cube):
+        inst = Instance([Job(0, 0.0, 5.0), Job(1, 1.0, 5.0)])
+        run = simulate_clairvoyant(inst, cube)
+        with_j1 = run.remaining_weight_at(1.0)
+        without_j1 = run.remaining_weight_at(1.0, include_release_at_t=False)
+        assert with_j1 == pytest.approx(without_j1 + 5.0, rel=1e-9)
+
+    def test_monotone_between_releases(self, cube, three_jobs):
+        run = simulate_clairvoyant(three_jobs, cube)
+        ts = [2.0, 2.5, 3.0, 3.5]
+        ws = [run.remaining_weight_at(t) for t in ts]
+        assert all(a >= b - 1e-9 for a, b in zip(ws, ws[1:]))
+
+    def test_zero_after_completion(self, cube, three_jobs):
+        run = simulate_clairvoyant(three_jobs, cube)
+        assert run.remaining_weight_at(run.schedule.end_time + 1.0) == pytest.approx(0.0)
+
+
+class TestUntilHorizon:
+    def test_stops_at_horizon(self, cube, three_jobs):
+        run = simulate_clairvoyant(three_jobs, cube, until=1.2)
+        assert run.clock == pytest.approx(1.2)
+        assert run.schedule.end_time <= 1.2 + 1e-9
+
+    def test_remaining_dict_consistent_with_full_run(self, cube, three_jobs):
+        t = 1.7
+        part = simulate_clairvoyant(three_jobs, cube, until=t)
+        full = simulate_clairvoyant(three_jobs, cube)
+        w_part = sum(three_jobs[j].density * v for j, v in part.remaining.items())
+        assert w_part == pytest.approx(full.remaining_weight_at(t), rel=1e-9)
+
+    def test_until_zero(self, cube, three_jobs):
+        run = simulate_clairvoyant(three_jobs, cube, until=0.0)
+        assert run.remaining == {0: 4.0}  # only job 0 released at 0
+
+    @given(uniform_instances(max_jobs=5), st.floats(min_value=0.1, max_value=30.0))
+    @settings(max_examples=25, deadline=None)
+    def test_prefix_property(self, inst, t):
+        """The until-run is a prefix of the full run (same processed volumes
+        at the horizon)."""
+        power = PowerLaw(3.0)
+        part = simulate_clairvoyant(inst, power, until=t)
+        full = simulate_clairvoyant(inst, power)
+        for job in inst:
+            a = part.schedule.processed_volume_until(job.job_id, t)
+            b = full.schedule.processed_volume_until(job.job_id, t)
+            assert a == pytest.approx(b, rel=1e-7, abs=1e-9)
+
+
+class TestScheduleValidity:
+    @given(general_instances(max_jobs=6))
+    @settings(max_examples=30, deadline=None)
+    def test_valid_schedule(self, inst):
+        power = PowerLaw(3.0)
+        run = simulate_clairvoyant(inst, power)
+        rep = evaluate(run.schedule, inst, power)  # evaluate validates
+        assert rep.energy > 0
+
+    def test_requires_power_law(self, three_jobs):
+        from repro.core.power import TabulatedPower
+
+        tab = TabulatedPower([0.0, 1.0, 2.0], [0.0, 1.0, 4.0])
+        with pytest.raises(TypeError):
+            simulate_clairvoyant(three_jobs, tab)  # type: ignore[arg-type]
+
+    def test_no_processing_before_release(self, cube):
+        inst = Instance([Job(0, 0.0, 1.0), Job(1, 3.0, 1.0)])
+        run = simulate_clairvoyant(inst, cube)
+        for seg in run.schedule.job_segments(1):
+            assert seg.t0 >= 3.0 - 1e-12
+
+    def test_solo_completion_matches_kernel(self, cube):
+        inst = Instance([Job(0, 0.0, 2.0, 1.5)])
+        run = simulate_clairvoyant(inst, cube)
+        assert run.completion_time(0) == pytest.approx(
+            decay_time_to_zero(3.0, 1.5, 3.0), rel=1e-12
+        )

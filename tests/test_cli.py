@@ -1,0 +1,122 @@
+"""Tests for the command-line interface (also the package's integration
+surface — every command exercises the public API end to end)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv: str) -> str:
+    assert main(list(argv)) == 0
+    return capsys.readouterr().out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_algorithm(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--algorithm", "MAGIC"])
+
+    def test_alpha_is_global(self):
+        args = build_parser().parse_args(["--alpha", "2.5", "run"])
+        assert args.alpha == 2.5
+
+
+class TestRun:
+    def test_nc_default(self, capsys):
+        out = run_cli(capsys, "run", "--jobs", "6", "--seed", "1")
+        assert "G_frac" in out and "energy" in out
+
+    def test_clairvoyant(self, capsys):
+        out = run_cli(capsys, "run", "--algorithm", "C", "--jobs", "5")
+        assert "C on 5 jobs" in out
+
+    def test_nc_general_with_densities(self, capsys):
+        out = run_cli(
+            capsys,
+            "run",
+            "--algorithm",
+            "NC_GENERAL",
+            "--jobs",
+            "4",
+            "--densities",
+            "loguniform",
+            "--max-step",
+            "5e-2",
+        )
+        assert "G_frac" in out
+
+    def test_deterministic(self, capsys):
+        a = run_cli(capsys, "run", "--jobs", "6", "--seed", "9")
+        b = run_cli(capsys, "run", "--jobs", "6", "--seed", "9")
+        assert a == b
+
+
+class TestRatio:
+    def test_nc_ratio_under_theorem5(self, capsys):
+        out = run_cli(capsys, "ratio", "--jobs", "6", "--seed", "4")
+        ratio = float(out.splitlines()[-1].split()[-3])
+        assert 1.0 <= ratio <= 2.5 + 1e-9
+
+    def test_integral_objective(self, capsys):
+        out = run_cli(capsys, "ratio", "--objective", "integral", "--jobs", "5")
+        assert "integral" in out
+
+
+class TestFiguresAndTables:
+    def test_figures(self, capsys):
+        out = run_cli(capsys, "figures", "--weight", "2.0")
+        assert "Figure 1" in out and "NC" in out
+
+    def test_lower_bound(self, capsys):
+        out = run_cli(capsys, "lower-bound", "--machines", "2", "4")
+        assert "k^(1-1/alpha)" in out
+
+    def test_cluster(self, capsys):
+        out = run_cli(capsys, "cluster", "--machines", "2", "--jobs", "8")
+        assert "Lemma 20 assignments equal: True" in out
+
+    def test_cluster_rejects_nonuniform(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["cluster", "--densities", "loguniform", "--jobs", "5"])
+
+    def test_table1_small(self, capsys):
+        out = run_cli(
+            capsys,
+            "table1",
+            "--uniform-jobs",
+            "5",
+            "--nonuniform-jobs",
+            "4",
+            "--seeds",
+            "1",
+        )
+        assert "Table 1 reproduction" in out
+        assert "fractional unit" in out
+
+
+class TestOptBracket:
+    def test_bracket_holds(self, capsys):
+        out = run_cli(capsys, "opt", "--jobs", "4", "--seed", "6", "--slots", "150",
+                      "--iterations", "500")
+        line = out.splitlines()[-1].split()
+        lower, upper = float(line[0]), float(line[1])
+        assert lower <= upper * (1 + 1e-9)
+        assert (upper - lower) / upper < 0.25
+
+
+class TestVerifyCommand:
+    def test_all_claims_hold(self, capsys):
+        out = run_cli(capsys, "verify", "--jobs", "5", "--seed", "3", "--machines", "2")
+        assert "ALL CLAIMS HOLD" in out
+        assert "Lemma 20" in out
+
+    def test_single_machine_skips_parallel_claims(self, capsys):
+        out = run_cli(capsys, "verify", "--jobs", "4", "--seed", "2")
+        assert "Lemma 20" not in out
+        assert "Theorem 5" in out

@@ -1,0 +1,169 @@
+"""Tests for the deadline-scheduling extension (YDS / AVR)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Instance, Job, PowerLaw
+from repro.core.errors import InvalidInstanceError, SimulationError
+from repro.extensions import (
+    DeadlineInstance,
+    avr_schedule,
+    deadline_energy_lower_bound,
+    validate_deadlines,
+    yds_schedule,
+)
+
+
+def energy_of(schedule, power) -> float:
+    return sum(s.energy(power) for s in schedule)
+
+
+@st.composite
+def deadline_instances(draw, max_jobs: int = 6):
+    n = draw(st.integers(min_value=1, max_value=max_jobs))
+    jobs = []
+    deadlines = {}
+    for i in range(n):
+        r = draw(st.floats(min_value=0.0, max_value=10.0))
+        span = draw(st.floats(min_value=0.5, max_value=10.0))
+        v = draw(st.floats(min_value=0.1, max_value=5.0))
+        jobs.append(Job(i, r, v, 1.0))
+        deadlines[i] = r + span
+    return DeadlineInstance(Instance(jobs), deadlines)
+
+
+class TestDeadlineInstance:
+    def test_missing_deadline_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            DeadlineInstance(Instance([Job(0, 0.0, 1.0)]), {})
+
+    def test_deadline_before_release_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            DeadlineInstance(Instance([Job(0, 5.0, 1.0)]), {0: 4.0})
+
+    def test_window_and_horizon(self):
+        di = DeadlineInstance(Instance([Job(0, 1.0, 1.0)]), {0: 3.0})
+        assert di.window(0) == (1.0, 3.0)
+        assert di.horizon == 3.0
+
+
+class TestYds:
+    def test_single_job_constant_speed(self, cube):
+        di = DeadlineInstance(Instance([Job(0, 0.0, 4.0)]), {0: 2.0})
+        sched = yds_schedule(di)
+        validate_deadlines(sched, di)
+        assert sched.speed_at(1.0) == pytest.approx(2.0)
+
+    def test_textbook_nested_example(self, cube):
+        """Job 0: [0,10] v=10; job 1: [4,6] v=4.  Critical interval [4,6]
+        at speed 2; job 0 spread over the remaining 8 units at 1.25."""
+        di = DeadlineInstance(
+            Instance([Job(0, 0.0, 10.0), Job(1, 4.0, 4.0)]), {0: 10.0, 1: 6.0}
+        )
+        sched = yds_schedule(di)
+        validate_deadlines(sched, di)
+        assert sched.speed_at(5.0) == pytest.approx(2.0)
+        assert sched.speed_at(1.0) == pytest.approx(1.25)
+        assert energy_of(sched, cube) == pytest.approx(2**3 * 2 + 1.25**3 * 8, rel=1e-9)
+
+    def test_disjoint_jobs_independent(self, cube):
+        di = DeadlineInstance(
+            Instance([Job(0, 0.0, 2.0), Job(1, 10.0, 6.0)]), {0: 2.0, 1: 12.0}
+        )
+        sched = yds_schedule(di)
+        validate_deadlines(sched, di)
+        assert sched.speed_at(1.0) == pytest.approx(1.0)
+        assert sched.speed_at(11.0) == pytest.approx(3.0)
+
+    def test_identical_windows_pool(self, cube):
+        di = DeadlineInstance(
+            Instance([Job(0, 0.0, 1.0), Job(1, 0.0, 2.0)]), {0: 3.0, 1: 3.0}
+        )
+        sched = yds_schedule(di)
+        validate_deadlines(sched, di)
+        assert sched.speed_at(1.5) == pytest.approx(1.0)
+
+    @given(deadline_instances(max_jobs=5))
+    @settings(max_examples=25, deadline=None)
+    def test_always_feasible(self, di):
+        sched = yds_schedule(di)
+        validate_deadlines(sched, di)
+
+    @given(deadline_instances(max_jobs=4))
+    @settings(max_examples=10, deadline=None)
+    def test_matches_convex_lower_bound(self, di):
+        """YDS is optimal: its energy equals the certified lower bound up to
+        the bound's discretisation error.
+
+        The bound smears each window by up to a slot on each side, so its
+        slack grows with horizon/slots; scale the resolution accordingly and
+        keep a generous margin (the *equality*-grade check lives in
+        ``test_textbook_nested_example``, where the numbers are exact).
+        """
+        power = PowerLaw(3.0)
+        e = energy_of(yds_schedule(di), power)
+        slots = min(900, max(300, int(di.horizon / 0.02)))
+        lb = deadline_energy_lower_bound(di, power, slots=slots, iterations=1200)
+        assert lb <= e * (1 + 1e-6)
+        assert e <= lb * 1.20
+
+    @given(deadline_instances(max_jobs=5))
+    @settings(max_examples=15, deadline=None)
+    def test_never_beaten_by_avr(self, di):
+        power = PowerLaw(2.5)
+        assert energy_of(yds_schedule(di), power) <= energy_of(
+            avr_schedule(di), power
+        ) * (1 + 1e-9)
+
+
+class TestAvr:
+    def test_single_job_average_rate(self, cube):
+        di = DeadlineInstance(Instance([Job(0, 0.0, 4.0)]), {0: 2.0})
+        sched = avr_schedule(di)
+        validate_deadlines(sched, di)
+        assert sched.speed_at(1.0) == pytest.approx(2.0)
+
+    def test_rates_add(self, cube):
+        di = DeadlineInstance(
+            Instance([Job(0, 0.0, 2.0), Job(1, 0.0, 2.0)]), {0: 2.0, 1: 2.0}
+        )
+        sched = avr_schedule(di)
+        assert sched.speed_at(0.5) == pytest.approx(2.0)
+
+    @given(deadline_instances(max_jobs=5))
+    @settings(max_examples=25, deadline=None)
+    def test_always_feasible(self, di):
+        sched = avr_schedule(di)
+        validate_deadlines(sched, di)
+
+    def test_known_competitive_gap(self, cube):
+        """The nested example where AVR famously overspends (~2x at alpha=3)."""
+        di = DeadlineInstance(
+            Instance([Job(0, 0.0, 10.0), Job(1, 4.0, 4.0)]), {0: 10.0, 1: 6.0}
+        )
+        e_avr = energy_of(avr_schedule(di), cube)
+        e_yds = energy_of(yds_schedule(di), cube)
+        assert e_avr > 1.5 * e_yds
+        assert e_avr < 2.0 ** (3 - 1) * 3.0**3 * e_yds  # the proved cap
+
+
+class TestValidator:
+    def test_detects_missed_deadline(self, cube):
+        from repro.core.schedule import ConstantSegment, Schedule
+
+        di = DeadlineInstance(Instance([Job(0, 0.0, 1.0)]), {0: 1.0})
+        late = Schedule([ConstantSegment(0.0, 2.0, 0, 0.5)])
+        with pytest.raises(SimulationError):
+            validate_deadlines(late, di)
+
+    def test_detects_missing_volume(self, cube):
+        from repro.core.schedule import ConstantSegment, Schedule
+
+        di = DeadlineInstance(Instance([Job(0, 0.0, 2.0)]), {0: 2.0})
+        short = Schedule([ConstantSegment(0.0, 1.0, 0, 1.0)])
+        with pytest.raises(SimulationError):
+            validate_deadlines(short, di)

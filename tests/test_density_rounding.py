@@ -1,0 +1,92 @@
+"""Tests for the §4 density rounding."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Instance, Job
+from repro.algorithms.density_rounding import (
+    density_class_index,
+    density_classes,
+    round_density_down,
+    rounded_instance,
+)
+
+
+class TestClassIndex:
+    def test_exact_powers(self):
+        assert density_class_index(1.0, 5.0) == 0
+        assert density_class_index(5.0, 5.0) == 1
+        assert density_class_index(25.0, 5.0) == 2
+        assert density_class_index(0.2, 5.0) == -1
+
+    def test_between_powers_rounds_down(self):
+        assert density_class_index(4.99, 5.0) == 0
+        assert density_class_index(5.01, 5.0) == 1
+        assert density_class_index(24.0, 5.0) == 1
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            density_class_index(0.0, 5.0)
+        with pytest.raises(ValueError):
+            density_class_index(1.0, 1.0)
+        with pytest.raises(ValueError):
+            density_class_index(-2.0, 5.0)
+
+    @given(
+        st.floats(min_value=1e-6, max_value=1e6),
+        st.floats(min_value=1.5, max_value=10.0),
+    )
+    @settings(max_examples=100)
+    def test_bracket_property(self, rho, beta):
+        """beta**k <= rho < beta**(k+1) up to float slack."""
+        k = density_class_index(rho, beta)
+        assert beta**k <= rho * (1 + 1e-9)
+        assert rho < beta ** (k + 1) * (1 + 1e-9)
+
+    @given(st.integers(min_value=-20, max_value=20), st.floats(min_value=1.5, max_value=8.0))
+    @settings(max_examples=100)
+    def test_exact_power_is_own_class(self, k, beta):
+        rho = float(beta) ** k
+        assert density_class_index(rho, beta) == k
+
+
+class TestRounding:
+    @given(
+        st.floats(min_value=1e-4, max_value=1e4),
+        st.floats(min_value=2.0, max_value=8.0),
+    )
+    @settings(max_examples=100)
+    def test_rounds_down_within_beta(self, rho, beta):
+        r = round_density_down(rho, beta)
+        assert r <= rho * (1 + 1e-9)
+        assert rho < r * beta * (1 + 1e-9)
+
+    def test_rounded_instance_preserves_everything_else(self):
+        inst = Instance([Job(0, 1.0, 2.0, 7.0), Job(1, 2.0, 3.0, 24.0)])
+        rounded = rounded_instance(inst, 5.0)
+        assert rounded[0].density == pytest.approx(5.0)
+        assert rounded[1].density == pytest.approx(5.0)
+        assert rounded[0].volume == 2.0
+        assert rounded[0].release == 1.0
+
+    def test_rounding_idempotent(self):
+        inst = Instance([Job(0, 0.0, 1.0, 7.0)])
+        once = rounded_instance(inst, 5.0)
+        twice = rounded_instance(once, 5.0)
+        assert once[0].density == twice[0].density
+
+
+class TestClasses:
+    def test_grouping_fifo_within_class(self):
+        inst = Instance(
+            [
+                Job(0, 0.0, 1.0, 6.0),
+                Job(1, 1.0, 1.0, 7.0),
+                Job(2, 2.0, 1.0, 1.0),
+            ]
+        )
+        classes = density_classes(inst, 5.0)
+        assert classes == {1: [0, 1], 0: [2]}

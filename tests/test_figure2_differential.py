@@ -1,0 +1,93 @@
+"""The differential claim behind Figure 2 (and the proof of Lemma 7).
+
+Figure 2 shows that processing an extra ``dw`` of job 2's weight extends the
+non-clairvoyant run by some ``dT``, and shifts the clairvoyant run's entire
+suffix right by *the same* ``dT``.  We verify this numerically: perturb a
+job's volume by a small ``dv`` and compare the completion-time shifts of the
+two algorithms (they must agree to first order), plus the prediction
+``dT = dv / s``, where ``s`` is the speed at which the extra weight is
+processed (the end of NC's run for the perturbed job).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Instance, Job, PowerLaw
+from repro.algorithms import simulate_clairvoyant, simulate_nc_uniform
+
+DV = 1e-7
+
+
+def shifted_instance(inst: Instance, job_id: int, dv: float) -> Instance:
+    return Instance(
+        j if j.job_id != job_id else j.with_volume(j.volume + dv) for j in inst
+    )
+
+
+class TestFigure2Differential:
+    def figure_instance(self) -> Instance:
+        return Instance([Job(1, 0.0, 3.0), Job(2, 1.2, 2.0)])
+
+    def test_equal_dT_both_algorithms(self, cube):
+        inst = self.figure_instance()
+        pert = shifted_instance(inst, 2, DV)
+        dT_nc = (
+            simulate_nc_uniform(pert, cube).schedule.end_time
+            - simulate_nc_uniform(inst, cube).schedule.end_time
+        )
+        dT_c = (
+            simulate_clairvoyant(pert, cube).schedule.end_time
+            - simulate_clairvoyant(inst, cube).schedule.end_time
+        )
+        assert dT_nc == pytest.approx(dT_c, rel=1e-4)
+
+    def test_dT_equals_dv_over_final_speed(self, cube):
+        """NC processes the extra dw at the very end of job 2's run, at the
+        final speed s; so dT = dv/s to first order."""
+        inst = self.figure_instance()
+        nc = simulate_nc_uniform(inst, cube)
+        end_speed = nc.schedule.speed_at(nc.schedule.end_time - 1e-12)
+        pert = shifted_instance(inst, 2, DV)
+        dT = simulate_nc_uniform(pert, cube).schedule.end_time - nc.schedule.end_time
+        assert dT == pytest.approx(DV / end_speed, rel=1e-4)
+
+    def test_clairvoyant_history_before_release_unchanged(self, cube):
+        """Adding weight to job 2 does not change C's schedule before r2."""
+        inst = self.figure_instance()
+        pert = shifted_instance(inst, 2, 0.5)  # a large, visible perturbation
+        a = simulate_clairvoyant(inst, cube)
+        b = simulate_clairvoyant(pert, cube)
+        for t in (0.3, 0.7, 1.1):
+            assert a.schedule.speed_at(t) == pytest.approx(b.schedule.speed_at(t), rel=1e-12)
+
+    def test_clairvoyant_suffix_speed_jump_at_release(self, cube):
+        """At r2 the remaining weight jumps by dW, raising C's speed there."""
+        inst = self.figure_instance()
+        pert = shifted_instance(inst, 2, 0.5)
+        a = simulate_clairvoyant(inst, cube)
+        b = simulate_clairvoyant(pert, cube)
+        assert b.schedule.speed_at(1.21) > a.schedule.speed_at(1.21)
+
+    @given(
+        st.floats(min_value=0.5, max_value=5.0),
+        st.floats(min_value=0.5, max_value=5.0),
+        st.floats(min_value=0.2, max_value=3.0),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_dT_equality_property(self, v1, v2, r2):
+        """The same first-order claim over random two-job instances."""
+        power = PowerLaw(3.0)
+        inst = Instance([Job(1, 0.0, v1), Job(2, r2, v2)])
+        pert = shifted_instance(inst, 2, DV)
+        dT_nc = (
+            simulate_nc_uniform(pert, power).schedule.end_time
+            - simulate_nc_uniform(inst, power).schedule.end_time
+        )
+        dT_c = (
+            simulate_clairvoyant(pert, power).schedule.end_time
+            - simulate_clairvoyant(inst, power).schedule.end_time
+        )
+        assert dT_nc == pytest.approx(dT_c, rel=1e-3, abs=1e-12)

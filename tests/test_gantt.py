@@ -1,0 +1,68 @@
+"""Tests for the ASCII Gantt renderer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Instance, Job, PowerLaw
+from repro.algorithms import simulate_clairvoyant
+from repro.analysis import cluster_gantt, gantt_chart, gantt_line
+from repro.core.schedule import ConstantSegment, Schedule
+from repro.parallel import simulate_nc_par
+
+
+class TestGanttLine:
+    def test_idle_schedule(self):
+        sched = Schedule([])
+        assert gantt_line(sched, width=10) == "." * 10
+
+    def test_single_job_fills(self):
+        sched = Schedule([ConstantSegment(0.0, 1.0, 0, 1.0)])
+        assert gantt_line(sched, width=8) == "00000000"
+
+    def test_gap_rendered_as_idle(self):
+        sched = Schedule(
+            [ConstantSegment(0.0, 1.0, 0, 1.0), ConstantSegment(3.0, 4.0, 1, 1.0)]
+        )
+        line = gantt_line(sched, width=8)
+        assert line == "00....11"
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            gantt_line(Schedule([]), width=0)
+
+    def test_t_end_extends_with_idle(self):
+        sched = Schedule([ConstantSegment(0.0, 1.0, 0, 1.0)])
+        line = gantt_line(sched, width=10, t_end=2.0)
+        assert line == "00000....."
+
+    def test_glyphs_wrap_for_large_ids(self):
+        sched = Schedule([ConstantSegment(0.0, 1.0, 100, 1.0)])
+        line = gantt_line(sched, width=4)
+        assert len(set(line)) == 1 and line[0] != "."
+
+
+class TestCharts:
+    def test_single_machine_chart(self, cube, three_jobs):
+        run = simulate_clairvoyant(three_jobs, cube)
+        chart = gantt_chart(run.schedule, width=40)
+        lines = chart.splitlines()
+        assert len(lines[0]) == 40
+        assert "job 0" in lines[-1]
+
+    def test_cluster_chart_rows(self, cube, three_jobs):
+        run = simulate_nc_par(three_jobs, cube, 2)
+        chart = cluster_gantt(run, width=40)
+        rows = [l for l in chart.splitlines() if l.startswith("m")]
+        assert len(rows) == 2
+        # All job glyphs present somewhere.
+        body = "".join(rows)
+        for jid in three_jobs.job_ids:
+            assert str(jid) in body
+
+    def test_cluster_chart_empty_machine(self, cube):
+        inst = Instance([Job(0, 0.0, 1.0)])
+        run = simulate_nc_par(inst, cube, 3)
+        chart = cluster_gantt(run, width=20)
+        rows = [l for l in chart.splitlines() if l.startswith("m")]
+        assert rows[1].strip("m12 |") == "." * 0 or "." * 20 in rows[1]

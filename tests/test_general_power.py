@@ -1,0 +1,83 @@
+"""Generality tests: Lemmas 3 and 6 hold for *any* monotone convex power
+function (the paper proves them in that generality; only the flow-time
+comparison of Lemma 4 needs P = s^alpha).
+
+These run the algorithms through the numeric engine with a tabulated
+(piecewise-linear convex) power curve and verify the structural identities
+within the engine's discretisation error.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Instance, Job
+from repro.algorithms.baselines import simulate_active_count
+from repro.algorithms.clairvoyant import ClairvoyantPolicy
+from repro.algorithms.nc_uniform import NCUniformPolicy
+from repro.core import NumericEngine, TabulatedPower, evaluate
+
+
+@pytest.fixture
+def tab_power() -> TabulatedPower:
+    """A convex non-polynomial power curve (superlinear, kinked).
+
+    The first segment is flat: ``P(s) = 0`` up to ``s = 0.5``.  This mirrors
+    the crucial property of ``s**alpha`` that ``P'(0) = 0`` — with a strictly
+    positive slope at the origin the power-equals-weight decay would be
+    exponential and jobs would never finish in finite time.
+    """
+    speeds = [0.0, 0.5, 1.0, 1.5, 2.0, 3.0, 5.0]
+    powers = [0.0, 0.0, 1.0, 2.6, 5.0, 12.0, 40.0]
+    return TabulatedPower(speeds, powers)
+
+
+@pytest.fixture
+def small_instance() -> Instance:
+    return Instance([Job(0, 0.0, 1.5), Job(1, 0.4, 0.8), Job(2, 0.9, 0.5)])
+
+
+class TestClairvoyantGeneralPower:
+    def test_flow_equals_energy(self, tab_power, small_instance):
+        """Theorem 1's identity is power-function independent."""
+        engine = NumericEngine(tab_power, max_step=1e-3)
+        res = engine.run(small_instance, ClairvoyantPolicy(small_instance, tab_power))
+        rep = evaluate(res.schedule, small_instance, tab_power)
+        assert rep.fractional_flow == pytest.approx(rep.energy, rel=5e-3)
+
+    def test_speed_follows_inverse_power(self, tab_power, small_instance):
+        engine = NumericEngine(tab_power, max_step=1e-3)
+        res = engine.run(small_instance, ClairvoyantPolicy(small_instance, tab_power))
+        w0 = small_instance.jobs[0].weight  # only job 0 active at t=0+
+        assert res.schedule.speed_at(1e-4) == pytest.approx(tab_power.speed(w0), rel=1e-2)
+
+
+class TestNCGeneralPower:
+    def test_lemma3_energy_equality(self, tab_power, small_instance):
+        """Lemma 3 ('actually true for all power functions') via the engine."""
+        engine = NumericEngine(tab_power, max_step=1e-3)
+        res_nc = engine.run(small_instance, NCUniformPolicy(tab_power, epsilon=1e-5))
+        res_c = NumericEngine(tab_power, max_step=1e-3).run(
+            small_instance, ClairvoyantPolicy(small_instance, tab_power)
+        )
+        e_nc = evaluate(res_nc.schedule, small_instance, tab_power).energy
+        e_c = evaluate(res_c.schedule, small_instance, tab_power).energy
+        assert e_nc == pytest.approx(e_c, rel=1e-2)
+
+    def test_lemma6_duration_equality(self, tab_power, small_instance):
+        """The measure-preserving remap implies equal total span."""
+        res_nc = NumericEngine(tab_power, max_step=1e-3).run(
+            small_instance, NCUniformPolicy(tab_power, epsilon=1e-5)
+        )
+        res_c = NumericEngine(tab_power, max_step=1e-3).run(
+            small_instance, ClairvoyantPolicy(small_instance, tab_power)
+        )
+        assert res_nc.schedule.end_time == pytest.approx(res_c.schedule.end_time, rel=1e-2)
+
+
+class TestBaselinesGeneralPower:
+    def test_active_count_works(self, tab_power, small_instance):
+        sched = simulate_active_count(small_instance, tab_power)
+        rep = evaluate(sched, small_instance, tab_power)
+        assert set(rep.completion_times) == set(small_instance.job_ids)
+        assert sched.speed_at(1e-6) == pytest.approx(tab_power.speed(1.0))

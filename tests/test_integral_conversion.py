@@ -1,0 +1,117 @@
+"""Tests for the §5 black-box fractional -> integral reduction (Lemma 15)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Instance, Job, PowerLaw
+from repro.algorithms.integral_conversion import convert, to_integral_schedule
+from repro.algorithms.nc_uniform import simulate_nc_uniform
+from repro.algorithms.clairvoyant import simulate_clairvoyant
+from repro.core.metrics import evaluate
+
+from conftest import uniform_instances
+
+epsilons = st.floats(min_value=0.05, max_value=2.0, allow_nan=False)
+
+
+class TestConstruction:
+    def test_rejects_nonpositive_epsilon(self, cube, three_jobs):
+        sched = simulate_nc_uniform(three_jobs, cube).schedule
+        with pytest.raises(ValueError):
+            to_integral_schedule(sched, three_jobs, 0.0)
+
+    def test_aint_processes_full_volumes(self, cube, three_jobs):
+        sched = simulate_nc_uniform(three_jobs, cube).schedule
+        integral = to_integral_schedule(sched, three_jobs, 0.5)
+        for job in three_jobs:
+            assert integral.processed_volume(job.job_id) == pytest.approx(job.volume, rel=1e-9)
+
+    def test_aint_completion_at_fraction_of_afrac(self, cube):
+        """A_int finishes j exactly when A_frac has processed V/(1+eps)."""
+        eps = 0.5
+        inst = Instance([Job(0, 0.0, 3.0)])
+        frac = simulate_nc_uniform(inst, cube).schedule
+        integral = to_integral_schedule(frac, inst, eps)
+        t_int = integral.completion_time(0, 3.0)
+        frac_done = frac.processed_volume_until(0, t_int)
+        assert frac_done == pytest.approx(3.0 / (1 + eps), rel=1e-9)
+
+    def test_aint_idles_after_finishing(self, cube):
+        eps = 1.0
+        inst = Instance([Job(0, 0.0, 2.0)])
+        frac = simulate_nc_uniform(inst, cube).schedule
+        integral = to_integral_schedule(frac, inst, eps)
+        # A_int is done strictly before A_frac; after that it is idle.
+        t_int = integral.completion_time(0, 2.0)
+        assert t_int < frac.completion_time(0, 2.0)
+        assert integral.speed_at(t_int + (frac.end_time - t_int) / 2) == 0.0
+
+    def test_processed_weight_coupling(self, cube, three_jobs):
+        """Everywhere in time: vol_int(t) == min((1+eps) * vol_frac(t), V)."""
+        eps = 0.3
+        frac = simulate_nc_uniform(three_jobs, cube).schedule
+        integral = to_integral_schedule(frac, three_jobs, eps)
+        for t in [0.5, 1.0, 1.7, 2.5, 4.0]:
+            for job in three_jobs:
+                vf = frac.processed_volume_until(job.job_id, t)
+                vi = integral.processed_volume_until(job.job_id, t)
+                assert vi == pytest.approx(min((1 + eps) * vf, job.volume), rel=1e-7, abs=1e-9)
+
+
+class TestLemma15Bounds:
+    @given(uniform_instances(max_jobs=6), epsilons)
+    @settings(max_examples=30, deadline=None)
+    def test_energy_bound(self, inst, eps):
+        power = PowerLaw(3.0)
+        sched = simulate_nc_uniform(inst, power).schedule
+        conv = convert(sched, inst, power, eps)
+        assert conv.integral_report.energy <= (1 + eps) ** 3 * conv.fractional_report.energy * (
+            1 + 1e-9
+        )
+
+    @given(uniform_instances(max_jobs=6), epsilons)
+    @settings(max_examples=30, deadline=None)
+    def test_integral_flow_bound(self, inst, eps):
+        """F_int(A_int) <= (1 + 1/eps) * F_frac(A_frac)."""
+        power = PowerLaw(3.0)
+        sched = simulate_nc_uniform(inst, power).schedule
+        conv = convert(sched, inst, power, eps)
+        bound = (1 + 1 / eps) * conv.fractional_report.fractional_flow
+        assert conv.integral_report.integral_flow <= bound * (1 + 1e-9)
+
+    @given(uniform_instances(max_jobs=5), epsilons)
+    @settings(max_examples=20, deadline=None)
+    def test_objective_bound(self, inst, eps):
+        """G_int(A_int) <= max((1+eps)^alpha, 1 + 1/eps) * G_frac(A_frac)."""
+        alpha = 3.0
+        power = PowerLaw(alpha)
+        sched = simulate_nc_uniform(inst, power).schedule
+        conv = convert(sched, inst, power, eps)
+        factor = max((1 + eps) ** alpha, 1 + 1 / eps)
+        assert (
+            conv.integral_report.integral_objective
+            <= factor * conv.fractional_report.fractional_objective * (1 + 1e-9)
+        )
+
+    def test_ratio_properties_reported(self, cube, three_jobs):
+        sched = simulate_nc_uniform(three_jobs, cube).schedule
+        conv = convert(sched, three_jobs, cube, 0.5)
+        assert conv.energy_ratio <= 1.5**3 + 1e-9
+        assert conv.flow_ratio > 0
+
+
+class TestWorksOnClairvoyantSchedules:
+    """The reduction is schedule-level: it applies to any algorithm."""
+
+    @given(uniform_instances(max_jobs=5))
+    @settings(max_examples=15, deadline=None)
+    def test_on_algorithm_c(self, inst):
+        power = PowerLaw(2.0)
+        sched = simulate_clairvoyant(inst, power).schedule
+        conv = convert(sched, inst, power, 0.5)
+        assert conv.integral_report.energy <= 1.5**2 * conv.fractional_report.energy * (1 + 1e-9)
+        bound = 3.0 * conv.fractional_report.fractional_flow
+        assert conv.integral_report.integral_flow <= bound * (1 + 1e-9)

@@ -1,0 +1,137 @@
+"""End-to-end integration tests: full pipelines across modules, the way the
+benches and a downstream user combine them."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Instance, Job, PowerLaw
+from repro.algorithms import (
+    convert,
+    simulate_active_count,
+    simulate_clairvoyant,
+    simulate_constant_speed_fifo,
+    simulate_nc_general,
+    simulate_nc_uniform,
+)
+from repro.analysis import empirical_ratio, preemption_intervals, uniform_suite
+from repro.core import evaluate
+from repro.offline import opt_fractional_lower_bound
+from repro.parallel import simulate_c_par, simulate_nc_par
+from repro.workloads import billing_summary, cloud_instance, random_instance
+
+from conftest import uniform_instances
+
+
+class TestCrossAlgorithmInvariants:
+    """Relations that must hold between *different* algorithms on the same
+    instance — the glue the paper's analysis rests on."""
+
+    @given(uniform_instances(max_jobs=6))
+    @settings(max_examples=15, deadline=None)
+    def test_cost_ordering(self, inst):
+        """OPT lower bound <= C <= NC <= NC's theoretical multiple of C."""
+        alpha = 3.0
+        power = PowerLaw(alpha)
+        lb = opt_fractional_lower_bound(inst, power, slots=150, iterations=500)
+        g_c = evaluate(simulate_clairvoyant(inst, power).schedule, inst, power).fractional_objective
+        g_nc = evaluate(simulate_nc_uniform(inst, power).schedule, inst, power).fractional_objective
+        assert lb.value <= g_c * (1 + 1e-6)
+        assert g_c <= g_nc * (1 + 1e-9)  # clairvoyance can only help
+        factor = 0.5 * (1 + 1 / (1 - 1 / alpha))
+        assert g_nc == pytest.approx(factor * g_c, rel=1e-7)
+
+    @given(uniform_instances(max_jobs=5))
+    @settings(max_examples=10, deadline=None)
+    def test_all_schedulers_complete_everything(self, inst):
+        power = PowerLaw(3.0)
+        schedules = [
+            simulate_clairvoyant(inst, power).schedule,
+            simulate_nc_uniform(inst, power).schedule,
+            simulate_active_count(inst, power),
+            simulate_constant_speed_fifo(inst, 1.0),
+        ]
+        for sched in schedules:
+            rep = evaluate(sched, inst, power)
+            assert set(rep.completion_times) == set(inst.job_ids)
+
+    def test_nc_general_on_uniform_instance_close_to_constant_of_c(self, cube, three_jobs):
+        """NC-general also runs on uniform instances (its rounding maps unit
+        density to class 0); costs stay a constant over C."""
+        g = simulate_nc_general(three_jobs, cube, max_step=1e-2)
+        rg = evaluate(g.schedule, three_jobs, cube)
+        rc = evaluate(simulate_clairvoyant(three_jobs, cube).schedule, three_jobs, cube)
+        assert rg.fractional_objective / rc.fractional_objective < 60.0
+
+
+class TestTheorem16Pipeline:
+    """The full §4 + §5 pipeline: NC-general -> conversion -> integral ratio."""
+
+    def test_end_to_end(self, cube, mixed_density_jobs):
+        run = simulate_nc_general(mixed_density_jobs, cube, max_step=1e-2)
+        conv = convert(run.schedule, mixed_density_jobs, cube, epsilon=0.5)
+        lb = opt_fractional_lower_bound(mixed_density_jobs, cube, slots=200, iterations=800)
+        ratio = conv.integral_report.integral_objective / lb.value
+        assert ratio < 400.0  # constant depending only on alpha (2^{O(alpha)})
+        # the conversion preserves completeness
+        for job in mixed_density_jobs:
+            assert conv.integral_schedule.processed_volume(job.job_id) == pytest.approx(
+                job.volume, rel=1e-6
+            )
+
+
+class TestCloudPipeline:
+    def test_billing_pipeline(self, cube):
+        inst, owner = cloud_instance(4, seed=5)
+        run = simulate_nc_general(inst, cube, max_step=3e-2)
+        rep = evaluate(run.schedule, inst, cube)
+        bill = billing_summary(rep, inst, owner)
+        assert bill.gross_payment > 0
+        assert bill.delay_penalty == pytest.approx(rep.integral_flow)
+        assert bill.net == pytest.approx(
+            bill.gross_payment - bill.delay_penalty - bill.energy_cost
+        )
+
+
+class TestClusterPipeline:
+    @given(st.integers(min_value=1, max_value=5))
+    @settings(max_examples=5, deadline=None)
+    def test_cluster_vs_single_machine(self, k):
+        """More machines never increase the optimal-ish cost: NC-PAR on k+1
+        machines is at most NC-PAR on k machines for this workload."""
+        power = PowerLaw(3.0)
+        inst = random_instance(12, seed=3, rate=3.0)
+        a = simulate_nc_par(inst, power, k).report().fractional_objective
+        b = simulate_nc_par(inst, power, k + 1).report().fractional_objective
+        assert b <= a * (1 + 1e-9)
+
+    def test_cluster_energy_flow_identities(self):
+        power = PowerLaw(2.0)
+        inst = random_instance(15, seed=8, rate=2.0)
+        rc = simulate_c_par(inst, power, 3).report()
+        rn = simulate_nc_par(inst, power, 3).report()
+        assert rn.energy == pytest.approx(rc.energy, rel=1e-8)
+        assert rn.fractional_flow == pytest.approx(rc.fractional_flow * 2.0, rel=1e-8)
+
+
+class TestSuitePipeline:
+    def test_empirical_ratio_over_suite(self):
+        """The exact loop the Table-1 bench runs, at miniature scale."""
+        power = PowerLaw(3.0)
+        for name, inst in uniform_suite(n=5, seeds=(1,)):
+            res = empirical_ratio("NC", inst, power, slots=100, iterations=300)
+            assert res.ratio <= 2.5 + 1e-6, name
+
+
+class TestFigurePipelines:
+    def test_fig3_pipeline_runs_on_suite_instance(self, cube):
+        inst = Instance(
+            [Job(0, 0.0, 6.0, 1.0), Job(1, 0.6, 0.8, 9.0), Job(2, 2.8, 1.5, 9.0)]
+        )
+        run = simulate_clairvoyant(inst, cube)
+        ivs = preemption_intervals(run, 0)
+        assert len(ivs) >= 1
+        for iv in ivs:
+            assert iv.weight_before >= 0

@@ -1,0 +1,103 @@
+"""Round-trip tests for serialization."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+
+from repro import Instance, Job, PowerLaw
+from repro.algorithms import (
+    simulate_clairvoyant,
+    simulate_nc_uniform,
+    to_integral_schedule,
+)
+from repro.core import evaluate
+from repro.io import (
+    dump_run,
+    instance_from_dict,
+    instance_to_dict,
+    load_run,
+    report_to_dict,
+    schedule_from_dict,
+    schedule_to_dict,
+)
+
+from conftest import general_instances, uniform_instances
+
+
+class TestInstanceRoundTrip:
+    @given(general_instances(max_jobs=8))
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_exact(self, inst):
+        again = instance_from_dict(instance_to_dict(inst))
+        assert again.jobs == inst.jobs
+
+    def test_json_serialisable(self, three_jobs):
+        text = json.dumps(instance_to_dict(three_jobs))
+        again = instance_from_dict(json.loads(text))
+        assert again.jobs == three_jobs.jobs
+
+    def test_default_density(self):
+        data = {"jobs": [{"id": 0, "release": 0.0, "volume": 1.0}]}
+        inst = instance_from_dict(data)
+        assert inst[0].density == 1.0
+
+
+class TestScheduleRoundTrip:
+    @given(uniform_instances(max_jobs=5))
+    @settings(max_examples=20, deadline=None)
+    def test_clairvoyant_schedule_costs_survive(self, inst):
+        """The analytic parameters round-trip exactly, so costs re-evaluate
+        bit-for-bit."""
+        power = PowerLaw(3.0)
+        sched = simulate_clairvoyant(inst, power).schedule
+        again = schedule_from_dict(json.loads(json.dumps(schedule_to_dict(sched))))
+        a = evaluate(sched, inst, power)
+        b = evaluate(again, inst, power)
+        assert b.fractional_objective == a.fractional_objective
+        assert b.energy == a.energy
+
+    def test_growth_segments(self, cube, three_jobs):
+        sched = simulate_nc_uniform(three_jobs, cube).schedule
+        again = schedule_from_dict(schedule_to_dict(sched))
+        assert evaluate(again, three_jobs, cube).energy == evaluate(
+            sched, three_jobs, cube
+        ).energy
+
+    def test_scaled_segments(self, cube, three_jobs):
+        base = simulate_nc_uniform(three_jobs, cube).schedule
+        integral = to_integral_schedule(base, three_jobs, 0.5)
+        again = schedule_from_dict(schedule_to_dict(integral))
+        assert evaluate(again, three_jobs, cube).integral_objective == pytest.approx(
+            evaluate(integral, three_jobs, cube).integral_objective, rel=0
+        )
+
+    def test_unknown_kind_rejected(self):
+        from repro.core.errors import ScheduleError
+
+        with pytest.raises(ScheduleError):
+            schedule_from_dict({"segments": [{"kind": "warp", "t0": 0, "t1": 1, "job": 0}]})
+
+
+class TestReportExport:
+    def test_fields(self, cube, three_jobs):
+        rep = evaluate(simulate_clairvoyant(three_jobs, cube).schedule, three_jobs, cube)
+        data = report_to_dict(rep)
+        assert data["fractional_objective"] == pytest.approx(rep.fractional_objective)
+        assert set(data["completion_times"]) == {"0", "1", "2"}
+        json.dumps(data)  # JSON-clean
+
+
+class TestDumpLoad:
+    def test_file_roundtrip(self, cube, three_jobs, tmp_path):
+        sched = simulate_nc_uniform(three_jobs, cube).schedule
+        path = tmp_path / "run.json"
+        dump_run(str(path), three_jobs, sched, meta={"algorithm": "NC", "alpha": 3.0})
+        inst2, sched2, meta = load_run(str(path))
+        assert inst2.jobs == three_jobs.jobs
+        assert meta["algorithm"] == "NC"
+        assert evaluate(sched2, inst2, cube).fractional_objective == pytest.approx(
+            evaluate(sched, three_jobs, cube).fractional_objective, rel=0
+        )

@@ -1,0 +1,123 @@
+"""Unit tests for the job/instance model."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+
+from repro import Instance, Job
+from repro.core.errors import InvalidInstanceError
+
+from conftest import general_instances
+
+
+class TestJob:
+    def test_weight(self):
+        assert Job(0, 0.0, 4.0, 0.5).weight == pytest.approx(2.0)
+
+    def test_rejects_nonpositive_volume(self):
+        with pytest.raises(InvalidInstanceError):
+            Job(0, 0.0, 0.0)
+        with pytest.raises(InvalidInstanceError):
+            Job(0, 0.0, -1.0)
+
+    def test_rejects_nonpositive_density(self):
+        with pytest.raises(InvalidInstanceError):
+            Job(0, 0.0, 1.0, 0.0)
+
+    def test_rejects_negative_release(self):
+        with pytest.raises(InvalidInstanceError):
+            Job(0, -1.0, 1.0)
+
+    def test_rejects_nonfinite(self):
+        with pytest.raises(InvalidInstanceError):
+            Job(0, math.inf, 1.0)
+        with pytest.raises(InvalidInstanceError):
+            Job(0, 0.0, math.nan)
+
+    def test_with_volume_preserves_identity(self):
+        j = Job(3, 1.0, 2.0, 0.5).with_volume(9.0)
+        assert (j.job_id, j.release, j.volume, j.density) == (3, 1.0, 9.0, 0.5)
+
+    def test_with_density(self):
+        j = Job(3, 1.0, 2.0, 0.5).with_density(4.0)
+        assert j.density == 4.0
+        assert j.volume == 2.0
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            Job(0, 0.0, 1.0).volume = 2.0  # type: ignore[misc]
+
+
+class TestInstance:
+    def test_sorted_by_release(self):
+        inst = Instance([Job(0, 5.0, 1.0), Job(1, 1.0, 1.0)])
+        assert [j.job_id for j in inst] == [1, 0]
+
+    def test_tie_broken_by_id(self):
+        inst = Instance([Job(5, 1.0, 1.0), Job(2, 1.0, 1.0)])
+        assert [j.job_id for j in inst] == [2, 5]
+
+    def test_rejects_empty(self):
+        with pytest.raises(InvalidInstanceError):
+            Instance([])
+
+    def test_rejects_duplicate_ids(self):
+        with pytest.raises(InvalidInstanceError):
+            Instance([Job(0, 0.0, 1.0), Job(0, 1.0, 1.0)])
+
+    def test_lookup(self):
+        inst = Instance([Job(7, 0.0, 2.0)])
+        assert inst[7].volume == 2.0
+        assert 7 in inst
+        assert 8 not in inst
+        with pytest.raises(KeyError):
+            inst[8]
+
+    def test_totals(self):
+        inst = Instance([Job(0, 0.0, 2.0, 3.0), Job(1, 1.0, 4.0, 0.5)])
+        assert inst.total_volume == pytest.approx(6.0)
+        assert inst.total_weight == pytest.approx(8.0)
+        assert inst.max_release == 1.0
+        assert inst.job_ids == (0, 1)
+
+    def test_uniform_density_detection(self):
+        assert Instance([Job(0, 0.0, 1.0, 2.0), Job(1, 1.0, 3.0, 2.0)]).is_uniform_density()
+        assert not Instance([Job(0, 0.0, 1.0, 2.0), Job(1, 1.0, 3.0, 2.5)]).is_uniform_density()
+
+    def test_released_before_strict(self):
+        inst = Instance([Job(0, 0.0, 1.0), Job(1, 1.0, 1.0), Job(2, 2.0, 1.0)])
+        prefix = inst.released_before(1.0)
+        assert prefix is not None and prefix.job_ids == (0,)
+        assert inst.released_before(0.0) is None
+
+    def test_released_before_inclusive(self):
+        inst = Instance([Job(0, 0.0, 1.0), Job(1, 1.0, 1.0)])
+        prefix = inst.released_before(1.0, strict=False)
+        assert prefix is not None and prefix.job_ids == (0, 1)
+
+    def test_with_volumes_drops_empty(self):
+        inst = Instance([Job(0, 0.0, 1.0), Job(1, 1.0, 1.0)])
+        cur = inst.with_volumes({0: 0.5, 1: 0.0})
+        assert cur is not None and cur.job_ids == (0,)
+        assert cur[0].volume == 0.5
+        assert inst.with_volumes({0: 0.0, 1: 0.0}) is None
+
+    def test_with_densities(self):
+        inst = Instance([Job(0, 0.0, 1.0, 3.0)])
+        out = inst.with_densities({0: 1.0})
+        assert out[0].density == 1.0
+
+    def test_subset(self):
+        inst = Instance([Job(0, 0.0, 1.0), Job(1, 1.0, 1.0), Job(2, 2.0, 1.0)])
+        sub = inst.subset([2, 0])
+        assert sub is not None and sub.job_ids == (0, 2)
+        assert inst.subset([]) is None
+
+    @given(general_instances())
+    @settings(max_examples=40, deadline=None)
+    def test_iteration_is_fifo_order(self, inst):
+        rel = [(j.release, j.job_id) for j in inst]
+        assert rel == sorted(rel)

@@ -1,0 +1,215 @@
+"""Property tests for the closed-form kernels against numeric quadrature/ODEs.
+
+These are the defence against algebra slips: every closed form is compared to
+an independent numerical evaluation of the same quantity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy.integrate import quad, solve_ivp
+
+from repro.core import kernels
+
+from conftest import alphas
+
+weights = st.floats(min_value=0.01, max_value=100.0, allow_nan=False)
+rhos = st.floats(min_value=0.1, max_value=10.0, allow_nan=False)
+
+
+class TestBetaAndSpeed:
+    def test_beta_of(self):
+        assert kernels.beta_of(2.0) == pytest.approx(0.5)
+        assert kernels.beta_of(3.0) == pytest.approx(2.0 / 3.0)
+
+    def test_beta_rejects_alpha_at_most_one(self):
+        with pytest.raises(ValueError):
+            kernels.beta_of(1.0)
+
+    def test_speed_at(self):
+        assert kernels.speed_at(8.0, 3.0) == pytest.approx(2.0)
+        assert kernels.speed_at(0.0, 3.0) == 0.0
+
+    def test_speed_rejects_negative(self):
+        with pytest.raises(ValueError):
+            kernels.speed_at(-1.0, 3.0)
+
+
+class TestDecayClosedForms:
+    @given(weights, rhos, alphas)
+    @settings(max_examples=50, deadline=None)
+    def test_weight_after_solves_ode(self, w0, rho, alpha):
+        """Closed form matches scipy's integration of dW/dt = -rho W^{1/a}."""
+        horizon = 0.5 * kernels.decay_time_to_zero(w0, rho, alpha)
+        sol = solve_ivp(
+            lambda t, w: [-rho * max(w[0], 0.0) ** (1.0 / alpha)],
+            (0.0, horizon),
+            [w0],
+            rtol=1e-10,
+            atol=1e-12,
+        )
+        assert kernels.decay_weight_after(w0, rho, horizon, alpha) == pytest.approx(
+            sol.y[0][-1], rel=1e-6
+        )
+
+    @given(weights, rhos, alphas)
+    @settings(max_examples=50, deadline=None)
+    def test_time_between_inverts_weight_after(self, w0, rho, alpha):
+        w1 = w0 * 0.3
+        t = kernels.decay_time_between(w0, w1, rho, alpha)
+        assert kernels.decay_weight_after(w0, rho, t, alpha) == pytest.approx(w1, rel=1e-9)
+
+    @given(weights, rhos, alphas)
+    @settings(max_examples=50, deadline=None)
+    def test_energy_matches_quadrature(self, w0, rho, alpha):
+        """Energy = ∫ W dt along the decay (power-equals-weight rule)."""
+        w1 = w0 * 0.2
+        tau = kernels.decay_time_between(w0, w1, rho, alpha)
+        val, _ = quad(lambda t: kernels.decay_weight_after(w0, rho, t, alpha), 0.0, tau, limit=200)
+        assert kernels.decay_energy_between(w0, w1, rho, alpha) == pytest.approx(val, rel=1e-7)
+
+    @given(weights, rhos, alphas)
+    @settings(max_examples=50, deadline=None)
+    def test_flow_integral_matches_quadrature(self, w0, rho, alpha):
+        tau = 0.7 * kernels.decay_time_to_zero(w0, rho, alpha)
+
+        def processed(t):
+            return (w0 - kernels.decay_weight_after(w0, rho, t, alpha)) / rho
+
+        val, _ = quad(processed, 0.0, tau, limit=200)
+        assert kernels.decay_flow_integral(w0, rho, tau, alpha) == pytest.approx(val, rel=1e-7)
+
+    def test_time_to_zero_finite(self):
+        assert np.isfinite(kernels.decay_time_to_zero(100.0, 1.0, 3.0))
+
+    def test_weight_after_clamps_to_zero(self):
+        t_end = kernels.decay_time_to_zero(1.0, 1.0, 3.0)
+        assert kernels.decay_weight_after(1.0, 1.0, 2 * t_end, 3.0) == 0.0
+
+    def test_rejects_bad_order(self):
+        with pytest.raises(ValueError):
+            kernels.decay_time_between(1.0, 2.0, 1.0, 3.0)
+
+    def test_rejects_negative_inputs(self):
+        with pytest.raises(ValueError):
+            kernels.decay_weight_after(-1.0, 1.0, 1.0, 3.0)
+        with pytest.raises(ValueError):
+            kernels.decay_weight_after(1.0, -1.0, 1.0, 3.0)
+        with pytest.raises(ValueError):
+            kernels.decay_weight_after(1.0, 1.0, -1.0, 3.0)
+
+
+class TestGrowthClosedForms:
+    @given(weights, rhos, alphas)
+    @settings(max_examples=50, deadline=None)
+    def test_weight_after_solves_ode(self, u0, rho, alpha):
+        horizon = kernels.growth_time_between(u0, 2 * u0, rho, alpha)
+        sol = solve_ivp(
+            lambda t, u: [rho * max(u[0], 0.0) ** (1.0 / alpha)],
+            (0.0, horizon),
+            [u0],
+            rtol=1e-10,
+            atol=1e-12,
+        )
+        assert kernels.growth_weight_after(u0, rho, horizon, alpha) == pytest.approx(
+            sol.y[0][-1], rel=1e-6
+        )
+
+    @given(weights, rhos, alphas)
+    @settings(max_examples=50, deadline=None)
+    def test_time_between_inverts_weight_after(self, u0, rho, alpha):
+        u1 = u0 * 2.5
+        t = kernels.growth_time_between(u0, u1, rho, alpha)
+        assert kernels.growth_weight_after(u0, rho, t, alpha) == pytest.approx(u1, rel=1e-9)
+
+    @given(weights, rhos, alphas)
+    @settings(max_examples=50, deadline=None)
+    def test_energy_matches_quadrature(self, u0, rho, alpha):
+        u1 = u0 * 3.0
+        tau = kernels.growth_time_between(u0, u1, rho, alpha)
+        val, _ = quad(lambda t: kernels.growth_weight_after(u0, rho, t, alpha), 0.0, tau, limit=200)
+        assert kernels.growth_energy_between(u0, u1, rho, alpha) == pytest.approx(val, rel=1e-7)
+
+    @given(weights, rhos, alphas)
+    @settings(max_examples=50, deadline=None)
+    def test_flow_integral_matches_quadrature(self, u0, rho, alpha):
+        tau = kernels.growth_time_between(u0, 2 * u0, rho, alpha)
+
+        def processed(t):
+            return (kernels.growth_weight_after(u0, rho, t, alpha) - u0) / rho
+
+        val, _ = quad(processed, 0.0, tau, limit=200)
+        assert kernels.growth_flow_integral(u0, rho, tau, alpha) == pytest.approx(
+            val, rel=1e-7, abs=1e-12
+        )
+
+    def test_growth_from_zero_is_positive(self):
+        """The degenerate ODE's non-trivial solution: growth from 0 works."""
+        u = kernels.growth_weight_after(0.0, 1.0, 1.0, 3.0)
+        assert u > 0.0
+
+    def test_growth_from_zero_is_time_reversed_decay(self):
+        """Fig 1b: NC's power curve is C's curve reversed.  Growing from 0 for
+        time t and decaying from the result for time t both land where they
+        started."""
+        alpha, rho, t = 3.0, 1.0, 2.0
+        u = kernels.growth_weight_after(0.0, rho, t, alpha)
+        assert kernels.decay_time_to_zero(u, rho, alpha) == pytest.approx(t, rel=1e-9)
+
+    def test_rejects_bad_order(self):
+        with pytest.raises(ValueError):
+            kernels.growth_time_between(2.0, 1.0, 1.0, 3.0)
+
+
+class TestEnergySymmetry:
+    @given(weights, rhos, alphas)
+    @settings(max_examples=50, deadline=None)
+    def test_growth_and_decay_energy_agree(self, w, rho, alpha):
+        """The single-job core of Lemma 3: traversing the same weight range
+        costs the same energy forwards (NC) and backwards (C)."""
+        up = kernels.growth_energy_between(0.0, w, rho, alpha)
+        down = kernels.decay_energy_between(w, 0.0, rho, alpha)
+        assert up == pytest.approx(down, rel=1e-12)
+
+    @given(weights, rhos, alphas)
+    @settings(max_examples=50, deadline=None)
+    def test_durations_agree(self, w, rho, alpha):
+        up = kernels.growth_time_between(0.0, w, rho, alpha)
+        down = kernels.decay_time_between(w, 0.0, rho, alpha)
+        assert up == pytest.approx(down, rel=1e-12)
+
+    @given(weights, rhos, alphas)
+    @settings(max_examples=50, deadline=None)
+    def test_single_job_flow_energy_ratio(self, w, rho, alpha):
+        """§1.2's crucial observation: for P = s^alpha the ratio of NC's
+        flow-time area to its energy area depends only on alpha.
+
+        Flow above the growth curve = W * T - energy; the closed forms give
+        flow / energy = 1/(alpha-1) * ... — concretely, energy = (1-1/alpha)
+        * W * T / (2-1/alpha) ... we simply assert the ratio is independent
+        of the weight by comparing two different weights.
+        """
+        t1 = kernels.growth_time_between(0.0, w, rho, alpha)
+        e1 = kernels.growth_energy_between(0.0, w, rho, alpha)
+        flow1 = w * t1 - e1  # area above the power curve (Fig 1b)
+        w2 = w * 7.3
+        t2 = kernels.growth_time_between(0.0, w2, rho, alpha)
+        e2 = kernels.growth_energy_between(0.0, w2, rho, alpha)
+        flow2 = w2 * t2 - e2
+        assert flow1 / e1 == pytest.approx(flow2 / e2, rel=1e-9)
+
+    def test_flow_energy_ratio_value(self):
+        """At alpha = 3 the Fig-1b area ratio is concrete: with W**beta linear
+        in t, energy/(W*T) = (1+beta)^{-1} * (1+1/beta)... assert the derived
+        constant flow/energy = 1/(1+beta) / (beta/(1+beta)) = 1/beta - ...
+        (value checked numerically)."""
+        alpha, rho, w = 3.0, 1.0, 5.0
+        t = kernels.growth_time_between(0.0, w, rho, alpha)
+        e = kernels.growth_energy_between(0.0, w, rho, alpha)
+        beta = 1.0 - 1.0 / alpha
+        # E = W*T*beta/(1+beta)  (from the closed forms); flow = W*T/(1+beta).
+        assert e == pytest.approx(w * t * beta / (1 + beta), rel=1e-12)
+        assert (w * t - e) / e == pytest.approx(1.0 / beta, rel=1e-12)

@@ -1,0 +1,180 @@
+"""Tests for exact cost evaluation (energy, fractional/integral flow)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro import Instance, Job, PowerLaw
+from repro.core.errors import ScheduleError
+from repro.core.metrics import evaluate, validate_schedule
+from repro.core.schedule import ConstantSegment, Schedule
+
+from conftest import uniform_instances
+
+
+def make_constant_schedule(instance: Instance, speed: float) -> Schedule:
+    """FIFO at constant speed — simple enough to verify flow by hand."""
+    segs = []
+    t = 0.0
+    for job in instance:
+        start = max(t, job.release)
+        dur = job.volume / speed
+        segs.append(ConstantSegment(start, start + dur, job.job_id, speed))
+        t = start + dur
+    return Schedule(segs)
+
+
+class TestSingleJobByHand:
+    def test_energy(self, cube):
+        inst = Instance([Job(0, 0.0, 4.0)])
+        sched = make_constant_schedule(inst, 2.0)  # 2 time units at speed 2
+        rep = evaluate(sched, inst, cube)
+        assert rep.energy == pytest.approx(8.0 * 2.0)
+
+    def test_fractional_flow(self, cube):
+        # V(t) = 4 - 2t over [0,2]; integral = 4*2 - 2*2 = 4; density 1.
+        inst = Instance([Job(0, 0.0, 4.0)])
+        rep = evaluate(make_constant_schedule(inst, 2.0), inst, cube)
+        assert rep.fractional_flow == pytest.approx(4.0)
+
+    def test_integral_flow(self, cube):
+        inst = Instance([Job(0, 0.0, 4.0)])
+        rep = evaluate(make_constant_schedule(inst, 2.0), inst, cube)
+        assert rep.integral_flow == pytest.approx(4.0 * 2.0)  # weight * duration
+
+    def test_density_scales_flows(self, cube):
+        inst = Instance([Job(0, 0.0, 4.0, 3.0)])
+        rep = evaluate(make_constant_schedule(inst, 2.0), inst, cube)
+        assert rep.fractional_flow == pytest.approx(12.0)
+        assert rep.integral_flow == pytest.approx(24.0)
+
+    def test_release_offset(self, cube):
+        inst = Instance([Job(0, 5.0, 4.0)])
+        rep = evaluate(make_constant_schedule(inst, 2.0), inst, cube)
+        assert rep.completion_times[0] == pytest.approx(7.0)
+        assert rep.integral_flow == pytest.approx(8.0)
+        assert rep.fractional_flow == pytest.approx(4.0)
+
+
+class TestTwoJobsByHand:
+    def test_waiting_job_accrues_full_weight(self, cube):
+        # Job 1 released at 0 but processed [2,4]; it waits 2 units at full
+        # volume: F_1 = 1*(2*2) + triangle 2 = 6.
+        inst = Instance([Job(0, 0.0, 4.0), Job(1, 0.0, 4.0)])
+        sched = Schedule(
+            [ConstantSegment(0.0, 2.0, 0, 2.0), ConstantSegment(2.0, 4.0, 1, 2.0)]
+        )
+        rep = evaluate(sched, inst, cube)
+        assert rep.fractional_flow_by_job[0] == pytest.approx(4.0)
+        assert rep.fractional_flow_by_job[1] == pytest.approx(8.0 + 4.0)
+
+    def test_idle_gap_counts_for_waiting_jobs(self, cube):
+        inst = Instance([Job(0, 0.0, 2.0)])
+        sched = Schedule([ConstantSegment(3.0, 4.0, 0, 2.0)])
+        rep = evaluate(sched, inst, cube)
+        # Waits 3 units at volume 2, then triangle 2*1/2 = 1.
+        assert rep.fractional_flow == pytest.approx(7.0)
+        assert rep.integral_flow == pytest.approx(2.0 * 4.0)
+
+    def test_preemption_resume(self, cube):
+        # Job 0 processed [0,1] and [2,3]; job 1 processed [1,2].
+        inst = Instance([Job(0, 0.0, 2.0), Job(1, 0.0, 1.0)])
+        sched = Schedule(
+            [
+                ConstantSegment(0.0, 1.0, 0, 1.0),
+                ConstantSegment(1.0, 2.0, 1, 1.0),
+                ConstantSegment(2.0, 3.0, 0, 1.0),
+            ]
+        )
+        rep = evaluate(sched, inst, cube)
+        # Job 0: [0,1]: 2 - t -> 1.5; [1,2]: constant 1 -> 1; [2,3]: 1-t -> .5
+        assert rep.fractional_flow_by_job[0] == pytest.approx(3.0)
+        assert rep.completion_times[0] == pytest.approx(3.0)
+
+
+class TestValidation:
+    def test_missing_volume_rejected(self, cube):
+        inst = Instance([Job(0, 0.0, 4.0)])
+        sched = Schedule([ConstantSegment(0.0, 1.0, 0, 1.0)])
+        with pytest.raises(ScheduleError):
+            evaluate(sched, inst, cube)
+
+    def test_unknown_job_rejected(self, cube):
+        inst = Instance([Job(0, 0.0, 1.0)])
+        sched = Schedule(
+            [ConstantSegment(0.0, 1.0, 0, 1.0), ConstantSegment(1.0, 2.0, 9, 1.0)]
+        )
+        with pytest.raises(ScheduleError):
+            validate_schedule(sched, inst)
+
+    def test_processing_before_release_rejected(self, cube):
+        inst = Instance([Job(0, 5.0, 1.0)])
+        sched = Schedule([ConstantSegment(0.0, 1.0, 0, 1.0)])
+        with pytest.raises(ScheduleError):
+            validate_schedule(sched, inst)
+
+    def test_validate_can_be_skipped(self, cube):
+        inst = Instance([Job(0, 0.0, 4.0)])
+        sched = Schedule([ConstantSegment(0.0, 1.0, 0, 1.0)])
+        # Partial schedules are evaluable with validate=False... except
+        # completion lookup fails; so we only check validate_schedule gating.
+        with pytest.raises(ScheduleError):
+            evaluate(sched, inst, cube, validate=True)
+
+
+class TestCostReport:
+    def test_objectives_sum(self, cube, three_jobs):
+        sched = make_constant_schedule(three_jobs, 2.0)
+        rep = evaluate(sched, three_jobs, cube)
+        assert rep.fractional_objective == pytest.approx(rep.energy + rep.fractional_flow)
+        assert rep.integral_objective == pytest.approx(rep.energy + rep.integral_flow)
+
+    def test_integral_dominates_fractional(self, cube, three_jobs):
+        rep = evaluate(make_constant_schedule(three_jobs, 2.0), three_jobs, cube)
+        assert rep.integral_flow >= rep.fractional_flow - 1e-12
+
+    def test_merge_disjoint(self, cube):
+        i1 = Instance([Job(0, 0.0, 1.0)])
+        i2 = Instance([Job(1, 0.0, 1.0)])
+        r1 = evaluate(make_constant_schedule(i1, 1.0), i1, cube)
+        r2 = evaluate(make_constant_schedule(i2, 1.0), i2, cube)
+        merged = r1.merged_with(r2)
+        assert merged.energy == pytest.approx(r1.energy + r2.energy)
+        assert set(merged.completion_times) == {0, 1}
+
+    def test_merge_overlapping_rejected(self, cube):
+        i1 = Instance([Job(0, 0.0, 1.0)])
+        r1 = evaluate(make_constant_schedule(i1, 1.0), i1, cube)
+        with pytest.raises(ScheduleError):
+            r1.merged_with(r1)
+
+    def test_makespan(self, cube, three_jobs):
+        rep = evaluate(make_constant_schedule(three_jobs, 2.0), three_jobs, cube)
+        assert rep.makespan == pytest.approx(max(rep.completion_times.values()))
+
+
+class TestPropertyInvariants:
+    @given(uniform_instances(max_jobs=5))
+    @settings(max_examples=30, deadline=None)
+    def test_integral_at_least_fractional(self, inst):
+        power = PowerLaw(3.0)
+        rep = evaluate(make_constant_schedule(inst, 1.5), inst, power)
+        assert rep.integral_flow >= rep.fractional_flow - 1e-9 * max(1.0, rep.integral_flow)
+
+    @given(uniform_instances(max_jobs=5))
+    @settings(max_examples=30, deadline=None)
+    def test_flows_nonnegative(self, inst):
+        power = PowerLaw(2.0)
+        rep = evaluate(make_constant_schedule(inst, 1.0), inst, power)
+        assert all(v >= 0 for v in rep.fractional_flow_by_job.values())
+        assert all(v >= 0 for v in rep.integral_flow_by_job.values())
+
+    @given(uniform_instances(max_jobs=4))
+    @settings(max_examples=30, deadline=None)
+    def test_faster_constant_speed_more_energy_less_flow(self, inst):
+        power = PowerLaw(3.0)
+        slow = evaluate(make_constant_schedule(inst, 1.0), inst, power)
+        fast = evaluate(make_constant_schedule(inst, 2.0), inst, power)
+        assert fast.energy >= slow.energy - 1e-9
+        assert fast.fractional_flow <= slow.fractional_flow + 1e-9

@@ -1,0 +1,88 @@
+"""Cross-validation of the exact flow accounting against brute-force
+numerical integration.
+
+`evaluate` computes fractional flow from per-segment closed forms; these
+tests rebuild the same quantity by sampling remaining volumes on a fine grid
+and integrating numerically, over schedules that mix constant, decay and
+growth profiles with preemptions and idle gaps.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Instance, Job, PowerLaw
+from repro.algorithms import simulate_clairvoyant, simulate_nc_uniform
+from repro.core.metrics import evaluate
+from repro.core.schedule import Schedule
+
+from conftest import general_instances, uniform_instances
+
+
+def brute_force_fractional_flow(schedule: Schedule, instance: Instance, samples: int) -> float:
+    """Trapezoidal integration of rho_j * V_j(t) over a fine grid."""
+    end = schedule.end_time
+    ts = np.linspace(0.0, end, samples)
+    total = 0.0
+    for job in instance:
+        vals = []
+        for t in ts:
+            if t < job.release:
+                vals.append(0.0)
+            else:
+                done = schedule.processed_volume_until(job.job_id, float(t))
+                vals.append(max(job.volume - done, 0.0))
+        total += job.density * float(np.trapezoid(vals, ts))
+    return total
+
+
+class TestAgainstQuadrature:
+    @given(general_instances(max_jobs=4))
+    @settings(max_examples=10, deadline=None)
+    def test_clairvoyant_flow(self, inst):
+        power = PowerLaw(3.0)
+        sched = simulate_clairvoyant(inst, power).schedule
+        exact = evaluate(sched, inst, power).fractional_flow
+        approx = brute_force_fractional_flow(sched, inst, 4001)
+        assert exact == pytest.approx(approx, rel=2e-2, abs=1e-6)
+
+    @given(uniform_instances(max_jobs=4))
+    @settings(max_examples=10, deadline=None)
+    def test_nc_flow(self, inst):
+        power = PowerLaw(2.5)
+        sched = simulate_nc_uniform(inst, power).schedule
+        exact = evaluate(sched, inst, power).fractional_flow
+        approx = brute_force_fractional_flow(sched, inst, 4001)
+        assert exact == pytest.approx(approx, rel=2e-2, abs=1e-6)
+
+    def test_idle_gap_instance(self, cube):
+        inst = Instance([Job(0, 0.0, 1.0), Job(1, 20.0, 2.0)])
+        sched = simulate_clairvoyant(inst, cube).schedule
+        exact = evaluate(sched, inst, cube).fractional_flow
+        approx = brute_force_fractional_flow(sched, inst, 20001)
+        assert exact == pytest.approx(approx, rel=1e-2)
+
+    def test_heavy_preemption_instance(self, cube):
+        inst = Instance(
+            [Job(0, 0.0, 5.0, 1.0)]
+            + [Job(i, 0.3 * i, 0.3, 10.0 + i) for i in range(1, 6)]
+        )
+        sched = simulate_clairvoyant(inst, cube).schedule
+        exact = evaluate(sched, inst, cube).fractional_flow
+        approx = brute_force_fractional_flow(sched, inst, 8001)
+        assert exact == pytest.approx(approx, rel=1e-2)
+
+    def test_energy_against_quadrature(self, cube):
+        from scipy.integrate import quad
+
+        inst = Instance([Job(0, 0.0, 2.0), Job(1, 0.7, 1.0)])
+        sched = simulate_clairvoyant(inst, cube).schedule
+        exact = evaluate(sched, inst, cube).energy
+        approx = sum(
+            quad(lambda t, s=s: cube.power(s.speed_at(t)), s.t0, s.t1, limit=200)[0]
+            for s in sched
+        )
+        assert exact == pytest.approx(approx, rel=1e-7)

@@ -1,0 +1,146 @@
+"""Edge-case coverage across modules: error hierarchy, engine step ramp,
+extreme parameters, and small behaviours not worth their own file."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro import Instance, Job, PowerLaw
+from repro.core import errors
+from repro.core.engine import NumericEngine
+from repro.core.kernels import (
+    decay_energy_between,
+    decay_time_to_zero,
+    growth_time_between,
+)
+from repro.algorithms.clairvoyant import ClairvoyantPolicy
+from repro.parallel import seeded_random_rule
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            errors.InvalidInstanceError,
+            errors.InvalidPowerFunctionError,
+            errors.ScheduleError,
+            errors.ClairvoyanceViolationError,
+            errors.SimulationError,
+            errors.ConvergenceError,
+        ],
+    )
+    def test_all_subclass_repro_error(self, exc):
+        assert issubclass(exc, errors.ReproError)
+        with pytest.raises(errors.ReproError):
+            raise exc("boom")
+
+
+class TestEngineStepRamp:
+    def test_small_steps_right_after_release(self, cube):
+        """The geometric ramp restarts after an event: the first segment
+        following a mid-run release must be far shorter than max_step."""
+        inst = Instance([Job(0, 0.0, 2.0), Job(1, 1.0, 1.0)])
+        engine = NumericEngine(cube, max_step=1e-2, min_step=1e-12)
+        result = engine.run(inst, ClairvoyantPolicy(inst, cube))
+        after_release = [
+            s for s in result.schedule.segments if s.t0 >= 1.0 and s.t0 < 1.0 + 1e-6
+        ]
+        assert after_release, "no segments found right after the release"
+        assert min(s.duration for s in after_release) < 1e-6
+
+    def test_steps_grow_back_to_max(self, cube):
+        inst = Instance([Job(0, 0.0, 2.0)])
+        engine = NumericEngine(cube, max_step=1e-2, min_step=1e-10)
+        result = engine.run(inst, ClairvoyantPolicy(inst, cube))
+        assert max(s.duration for s in result.schedule.segments) >= 0.9e-2
+
+
+class TestExtremeParameters:
+    def test_kernels_large_alpha(self):
+        """alpha = 50: beta ~ 1, dynamics nearly linear; closed forms stay
+        finite and consistent."""
+        t = decay_time_to_zero(10.0, 1.0, 50.0)
+        assert math.isfinite(t) and t > 0
+        e = decay_energy_between(10.0, 0.0, 1.0, 50.0)
+        assert math.isfinite(e) and e > 0
+        assert growth_time_between(0.0, 10.0, 1.0, 50.0) == pytest.approx(t, rel=1e-9)
+
+    def test_kernels_tiny_weights(self):
+        t = decay_time_to_zero(1e-30, 1.0, 3.0)
+        assert math.isfinite(t) and t > 0
+
+    def test_huge_volume_simulation(self, cube):
+        from repro.algorithms import simulate_clairvoyant, simulate_nc_uniform
+        from repro.core import evaluate
+
+        inst = Instance([Job(0, 0.0, 1e6)])
+        rc = evaluate(simulate_clairvoyant(inst, cube).schedule, inst, cube)
+        rn = evaluate(simulate_nc_uniform(inst, cube).schedule, inst, cube)
+        assert rn.energy == pytest.approx(rc.energy, rel=1e-9)
+
+    def test_many_simultaneous_jobs(self, cube):
+        from repro.algorithms import simulate_nc_uniform
+        from repro.core import evaluate
+
+        inst = Instance([Job(i, i * 1e-9, 0.5) for i in range(50)])
+        rep = evaluate(simulate_nc_uniform(inst, cube).schedule, inst, cube)
+        assert len(rep.completion_times) == 50
+
+
+class TestSeededRandomRule:
+    def test_deterministic(self):
+        rule = seeded_random_rule(7)
+        a = rule(4, list(range(16)))
+        b = rule(4, list(range(16)))
+        assert a == b
+
+    def test_range(self):
+        out = seeded_random_rule(1)(3, list(range(30)))
+        assert all(0 <= m < 3 for m in out)
+
+    def test_different_seeds_differ(self):
+        a = seeded_random_rule(1)(4, list(range(16)))
+        b = seeded_random_rule(2)(4, list(range(16)))
+        assert a != b
+
+
+class TestPackageSurface:
+    def test_version(self):
+        import repro
+
+        assert repro.__version__ == "1.0.0"
+
+    def test_star_exports_resolve(self):
+        """Every name in each __all__ must actually exist."""
+        import repro
+        import repro.algorithms
+        import repro.analysis
+        import repro.core
+        import repro.extensions
+        import repro.io
+        import repro.offline
+        import repro.parallel
+        import repro.workloads
+
+        for mod in (
+            repro,
+            repro.core,
+            repro.algorithms,
+            repro.parallel,
+            repro.offline,
+            repro.workloads,
+            repro.analysis,
+            repro.extensions,
+            repro.io,
+        ):
+            for name in mod.__all__:
+                assert hasattr(mod, name), f"{mod.__name__}.{name} missing"
+
+    def test_py_typed_marker_exists(self):
+        import pathlib
+
+        import repro
+
+        assert (pathlib.Path(repro.__file__).parent / "py.typed").exists()

@@ -1,0 +1,258 @@
+"""Tests for the offline optimum substrate: closed forms, the convex
+relaxation, and the bound selector."""
+
+from __future__ import annotations
+
+import pytest
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Instance, Job, PowerLaw
+from repro.algorithms.clairvoyant import simulate_clairvoyant
+from repro.algorithms.nc_uniform import simulate_nc_uniform
+from repro.core.metrics import evaluate
+from repro.offline.bounds import opt_fractional_lower_bound, opt_integral_lower_bound
+from repro.offline.convex import fractional_lower_bound, project_simplex
+from repro.offline.single_job import single_job_opt_fractional, single_job_opt_integral
+
+from conftest import alphas, uniform_instances
+
+vols = st.floats(min_value=0.1, max_value=50.0, allow_nan=False)
+rhos = st.floats(min_value=0.2, max_value=5.0, allow_nan=False)
+
+
+class TestSingleJobFractional:
+    @given(vols, rhos, alphas)
+    @settings(max_examples=50, deadline=None)
+    def test_flow_energy_identity(self, v, rho, alpha):
+        """Pontryagin solution satisfies flow = (alpha-1) * energy."""
+        opt = single_job_opt_fractional(v, rho, alpha)
+        assert opt.flow == pytest.approx((alpha - 1) * opt.energy, rel=1e-9)
+
+    @given(vols, rhos, alphas)
+    @settings(max_examples=50, deadline=None)
+    def test_volume_constraint_satisfied(self, v, rho, alpha):
+        """∫ s*(t) dt == V for the stated optimal profile."""
+        opt = single_job_opt_fractional(v, rho, alpha)
+        ts = np.linspace(0.0, opt.duration, 20001)
+        s = (rho * (opt.duration - ts) / alpha) ** (1.0 / (alpha - 1.0))
+        assert float(np.trapezoid(s, ts)) == pytest.approx(v, rel=1e-4)
+
+    @given(vols, rhos, alphas)
+    @settings(max_examples=50, deadline=None)
+    def test_energy_matches_profile(self, v, rho, alpha):
+        opt = single_job_opt_fractional(v, rho, alpha)
+        ts = np.linspace(0.0, opt.duration, 20001)
+        s = (rho * (opt.duration - ts) / alpha) ** (1.0 / (alpha - 1.0))
+        assert float(np.trapezoid(s**alpha, ts)) == pytest.approx(opt.energy, rel=1e-4)
+
+    @given(vols, rhos, alphas)
+    @settings(max_examples=50, deadline=None)
+    def test_beats_algorithm_c(self, v, rho, alpha):
+        """OPT <= cost(C), and >= cost(C)/2 (Theorem 1)."""
+        power = PowerLaw(alpha)
+        inst = Instance([Job(0, 0.0, v, rho)])
+        c_cost = evaluate(
+            simulate_clairvoyant(inst, power).schedule, inst, power
+        ).fractional_objective
+        opt = single_job_opt_fractional(v, rho, alpha).objective
+        assert opt <= c_cost * (1 + 1e-9)
+        assert opt >= c_cost / 2 * (1 - 1e-9)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            single_job_opt_fractional(0.0, 1.0, 3.0)
+        with pytest.raises(ValueError):
+            single_job_opt_fractional(1.0, -1.0, 3.0)
+        with pytest.raises(ValueError):
+            single_job_opt_fractional(1.0, 1.0, 1.0)
+
+    def test_known_value_alpha_two(self):
+        """alpha=2, V=1, rho=1: T = (2*sqrt(2))^{1/2}, E = T^3/12 ... verify
+        against a dense numeric minimisation over constant-deceleration
+        profiles is overkill; instead verify KKT: s(0)^{alpha-1} * alpha ==
+        rho * T."""
+        opt = single_job_opt_fractional(1.0, 1.0, 2.0)
+        s0 = (1.0 * opt.duration / 2.0) ** 1.0
+        assert 2.0 * s0 == pytest.approx(opt.duration, rel=1e-12)
+
+
+class TestSingleJobIntegral:
+    @given(vols, rhos, alphas)
+    @settings(max_examples=50, deadline=None)
+    def test_flow_energy_identity(self, v, rho, alpha):
+        """At the optimum, flow = (alpha-1) * energy here too."""
+        opt = single_job_opt_integral(v, rho, alpha)
+        assert opt.flow == pytest.approx((alpha - 1) * opt.energy, rel=1e-9)
+
+    @given(vols, rhos, alphas)
+    @settings(max_examples=50, deadline=None)
+    def test_duration_is_stationary_point(self, v, rho, alpha):
+        """Perturbing T in either direction cannot reduce the cost."""
+        opt = single_job_opt_integral(v, rho, alpha)
+
+        def cost(T: float) -> float:
+            return rho * v * T + v**alpha * T ** (1 - alpha)
+
+        assert cost(opt.duration) <= cost(opt.duration * 1.01) + 1e-12
+        assert cost(opt.duration) <= cost(opt.duration * 0.99) + 1e-12
+
+    @given(vols, rhos, alphas)
+    @settings(max_examples=50, deadline=None)
+    def test_integral_at_least_fractional(self, v, rho, alpha):
+        f = single_job_opt_fractional(v, rho, alpha).objective
+        i = single_job_opt_integral(v, rho, alpha).objective
+        assert i >= f * (1 - 1e-9)
+
+
+class TestProjectSimplex:
+    def test_already_feasible(self):
+        v = np.array([0.3, 0.7])
+        out = project_simplex(v, 1.0)
+        np.testing.assert_allclose(out, v, atol=1e-12)
+
+    def test_sums_to_total(self):
+        out = project_simplex(np.array([5.0, -3.0, 0.5]), 2.0)
+        assert out.sum() == pytest.approx(2.0)
+        assert np.all(out >= 0)
+
+    def test_zero_total(self):
+        out = project_simplex(np.array([1.0, 2.0]), 0.0)
+        assert out.sum() == pytest.approx(0.0)
+
+    @given(
+        st.lists(st.floats(min_value=-10, max_value=10), min_size=1, max_size=20),
+        st.floats(min_value=0.0, max_value=10.0),
+    )
+    @settings(max_examples=60)
+    def test_projection_properties(self, vals, total):
+        v = np.array(vals)
+        out = project_simplex(v, total)
+        assert out.sum() == pytest.approx(total, abs=1e-9)
+        assert np.all(out >= -1e-12)
+
+    def test_rejects_negative_total(self):
+        with pytest.raises(ValueError):
+            project_simplex(np.array([1.0]), -1.0)
+
+
+class TestConvexRelaxation:
+    def test_dual_below_exact_single_job(self, cube):
+        inst = Instance([Job(0, 0.0, 2.0)])
+        exact = single_job_opt_fractional(2.0, 1.0, 3.0).objective
+        cb = fractional_lower_bound(inst, cube, slots=400, iterations=2000)
+        assert cb.dual_value <= exact * (1 + 1e-9)
+        assert cb.dual_value >= 0.9 * exact  # and reasonably tight
+
+    def test_dual_at_most_primal(self, cube, three_jobs):
+        cb = fractional_lower_bound(three_jobs, cube, slots=200, iterations=800)
+        assert cb.dual_value <= cb.primal_value * (1 + 1e-9)
+        assert -1e-9 <= cb.gap < 0.2  # tiny negative gap is float noise
+
+    def test_converges_with_slots(self, cube):
+        inst = Instance([Job(0, 0.0, 2.0)])
+        exact = single_job_opt_fractional(2.0, 1.0, 3.0).objective
+        gaps = []
+        for slots in (100, 400):
+            cb = fractional_lower_bound(inst, cube, slots=slots, iterations=1500)
+            gaps.append(exact - cb.dual_value)
+        assert gaps[1] < gaps[0]
+
+    @given(uniform_instances(max_jobs=4))
+    @settings(max_examples=8, deadline=None)
+    def test_lower_bounds_algorithm_costs(self, inst):
+        """The dual never exceeds the cost of any feasible schedule."""
+        power = PowerLaw(3.0)
+        cb = fractional_lower_bound(inst, power, slots=150, iterations=600)
+        for sched in (
+            simulate_clairvoyant(inst, power).schedule,
+            simulate_nc_uniform(inst, power).schedule,
+        ):
+            cost = evaluate(sched, inst, power).fractional_objective
+            assert cb.dual_value <= cost * (1 + 1e-6)
+
+    def test_rejects_horizon_before_release(self, cube):
+        inst = Instance([Job(0, 5.0, 1.0)])
+        with pytest.raises(ValueError):
+            fractional_lower_bound(inst, cube, horizon=4.0)
+
+
+class TestBoundSelector:
+    def test_single_job_uses_closed_form(self, cube):
+        inst = Instance([Job(0, 0.0, 2.0)])
+        ob = opt_fractional_lower_bound(inst, cube)
+        assert ob.source == "single-job closed form"
+        assert ob.value == pytest.approx(single_job_opt_fractional(2.0, 1.0, 3.0).objective)
+
+    def test_multi_job_below_c(self, cube, three_jobs):
+        ob = opt_fractional_lower_bound(three_jobs, cube, slots=200, iterations=800)
+        c_cost = evaluate(
+            simulate_clairvoyant(three_jobs, cube).schedule, three_jobs, cube
+        ).fractional_objective
+        assert ob.value <= c_cost * (1 + 1e-9)
+        assert ob.value >= c_cost / 2 * (1 - 1e-9)  # surrogate included
+
+    def test_integral_bound_at_least_fractional(self, cube, three_jobs):
+        f = opt_fractional_lower_bound(three_jobs, cube, slots=150, iterations=600)
+        i = opt_integral_lower_bound(three_jobs, cube, slots=150, iterations=600)
+        assert i.value >= f.value * (1 - 1e-9)
+
+    def test_machines_pooling_weakens_bound(self, cube, three_jobs):
+        """More machines => OPT can only drop, and so must the bound."""
+        one = opt_fractional_lower_bound(three_jobs, cube, slots=150, iterations=600)
+        four = opt_fractional_lower_bound(
+            three_jobs, cube, machines=4, slots=150, iterations=600
+        )
+        assert four.value <= one.value * (1 + 1e-9)
+
+    def test_rejects_bad_machine_count(self, cube, three_jobs):
+        with pytest.raises(ValueError):
+            opt_fractional_lower_bound(three_jobs, cube, machines=0)
+
+
+class TestScheduleFromBound:
+    def test_brackets_single_job_optimum(self, cube):
+        from repro.offline.convex import schedule_from_bound
+
+        inst = Instance([Job(0, 0.0, 2.0)])
+        cb = fractional_lower_bound(inst, cube, slots=400, iterations=2000)
+        ub = evaluate(schedule_from_bound(inst, cb), inst, cube).fractional_objective
+        exact = single_job_opt_fractional(2.0, 1.0, 3.0).objective
+        assert cb.dual_value <= exact * (1 + 1e-9)
+        assert exact <= ub * (1 + 1e-9)
+        assert (ub - cb.dual_value) / ub < 0.02  # tight bracket
+
+    def test_feasible_and_exact_volumes(self, cube, three_jobs):
+        from repro.core.metrics import validate_schedule
+        from repro.offline.convex import schedule_from_bound
+
+        cb = fractional_lower_bound(three_jobs, cube, slots=200, iterations=800)
+        sched = schedule_from_bound(three_jobs, cb)
+        validate_schedule(sched, three_jobs, vol_tol=1e-9)
+
+    def test_release_mid_slot_respected(self, cube):
+        from repro.offline.convex import schedule_from_bound
+
+        inst = Instance([Job(0, 0.0, 1.0), Job(1, 0.777, 1.0)])
+        cb = fractional_lower_bound(inst, cube, slots=37, iterations=600)
+        sched = schedule_from_bound(inst, cb)
+        for seg in sched.job_segments(1):
+            assert seg.t0 >= 0.777 - 1e-12
+
+    def test_upper_bound_beats_nothing_silly(self, cube, three_jobs):
+        """The rounded schedule costs at least the dual (sanity) and at most
+        a small factor above the primal."""
+        from repro.offline.convex import schedule_from_bound
+
+        cb = fractional_lower_bound(three_jobs, cube, slots=250, iterations=1000)
+        ub = evaluate(schedule_from_bound(three_jobs, cb), three_jobs, cube).fractional_objective
+        assert ub >= cb.dual_value * (1 - 1e-9)
+        assert ub <= cb.primal_value * 1.1
+
+    def test_requires_rates(self, cube, three_jobs):
+        from repro.offline.convex import ConvexBound, schedule_from_bound
+
+        empty = ConvexBound(1.0, 1.0, 10.0, 10, 0, rates=None)
+        with pytest.raises(ValueError):
+            schedule_from_bound(three_jobs, empty)

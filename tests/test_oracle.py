@@ -1,0 +1,89 @@
+"""Tests for the non-clairvoyance boundary."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Instance, Job
+from repro.core.errors import ClairvoyanceViolationError
+from repro.core.oracle import VolumeOracle
+
+
+@pytest.fixture
+def oracle(three_jobs) -> VolumeOracle:
+    return VolumeOracle(three_jobs)
+
+
+class TestReleaseInfo:
+    def test_release_info_exposes_density_not_volume(self, oracle):
+        info = oracle.release_info(0)
+        assert info.release == 0.0
+        assert info.density == 1.0
+        assert not hasattr(info, "volume")
+
+    def test_releases_in_fifo_order(self, oracle):
+        assert [r.job_id for r in oracle.releases()] == [0, 1, 2]
+
+
+class TestVolumeChannel:
+    def test_active_volume_is_hidden(self, oracle):
+        with pytest.raises(ClairvoyanceViolationError):
+            oracle.revealed_volume(0)
+
+    def test_completed_volume_is_revealed(self, oracle):
+        oracle._mark_completed(0)
+        assert oracle.revealed_volume(0) == 4.0
+
+    def test_is_completed_transitions(self, oracle):
+        assert not oracle.is_completed(1)
+        oracle._mark_completed(1)
+        assert oracle.is_completed(1)
+
+    def test_double_completion_rejected(self, oracle):
+        oracle._mark_completed(0)
+        with pytest.raises(ClairvoyanceViolationError):
+            oracle._mark_completed(0)
+
+    def test_audit_log_records_queries(self, oracle):
+        oracle.is_completed(2)
+        try:
+            oracle.revealed_volume(2)
+        except ClairvoyanceViolationError:
+            pass
+        assert ("is_completed", 2) in oracle.audit_log
+        assert ("revealed_volume", 2) in oracle.audit_log
+
+
+class TestAlgorithmsStayHonest:
+    """Static checks: the non-clairvoyant algorithm modules must never touch
+    the trusted underscore accessors or a job's ``.volume`` except through the
+    documented channels."""
+
+    @pytest.mark.parametrize(
+        "module",
+        ["nc_uniform", "nc_general"],
+    )
+    def test_no_trusted_accessor_usage(self, module):
+        import pathlib
+
+        import repro.algorithms as pkg
+
+        src = (pathlib.Path(pkg.__file__).parent / f"{module}.py").read_text()
+        assert "_true_volume" not in src
+        assert "_mark_completed" not in src
+
+    def test_engine_policies_learn_volumes_only_on_completion(self):
+        """Run NC-general through the engine and confirm the oracle's audit
+        trail never revealed an active job's volume."""
+        from repro import PowerLaw
+        from repro.algorithms.nc_general import NCGeneralPolicy
+        from repro.core.engine import NumericEngine
+
+        inst = Instance([Job(0, 0.0, 0.6, 1.0), Job(1, 0.2, 0.4, 5.0)])
+        power = PowerLaw(2.0)
+        engine = NumericEngine(power, max_step=5e-3)
+        result = engine.run(inst, NCGeneralPolicy(power, epsilon=1e-4))
+        # The policy never calls revealed_volume at all (it gets volumes via
+        # on_completion), so the audit log must contain no reveal entries.
+        reveals = [e for e in result.oracle.audit_log if e[0] == "revealed_volume"]
+        assert reveals == []

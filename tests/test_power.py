@@ -1,0 +1,161 @@
+"""Unit and property tests for repro.core.power."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import InvalidPowerFunctionError
+from repro.core.power import CUBE_LAW, PowerLaw, TabulatedPower
+
+from conftest import alphas, positives
+
+
+class TestPowerLaw:
+    def test_cube_law_values(self):
+        assert CUBE_LAW.power(2.0) == 8.0
+        assert CUBE_LAW.speed(8.0) == pytest.approx(2.0)
+        assert CUBE_LAW.marginal_power(2.0) == pytest.approx(12.0)
+
+    def test_power_zero(self):
+        assert PowerLaw(2.5).power(0.0) == 0.0
+
+    def test_rejects_alpha_at_most_one(self):
+        with pytest.raises(InvalidPowerFunctionError):
+            PowerLaw(1.0)
+        with pytest.raises(InvalidPowerFunctionError):
+            PowerLaw(0.5)
+
+    def test_rejects_nonfinite_alpha(self):
+        with pytest.raises(InvalidPowerFunctionError):
+            PowerLaw(math.inf)
+        with pytest.raises(InvalidPowerFunctionError):
+            PowerLaw(math.nan)
+
+    def test_rejects_negative_speed(self):
+        with pytest.raises(ValueError):
+            CUBE_LAW.power(-1.0)
+        with pytest.raises(ValueError):
+            CUBE_LAW.speed(-1.0)
+        with pytest.raises(ValueError):
+            CUBE_LAW.marginal_power(-0.1)
+
+    def test_beta_precomputed(self):
+        assert PowerLaw(3.0).beta == pytest.approx(2.0 / 3.0)
+
+    def test_equality_and_hash(self):
+        assert PowerLaw(3.0) == PowerLaw(3.0)
+        assert PowerLaw(3.0) != PowerLaw(2.0)
+        assert hash(PowerLaw(3.0)) == hash(PowerLaw(3.0))
+
+    def test_repr(self):
+        assert "3.0" in repr(PowerLaw(3.0))
+
+    def test_power_array_vectorised(self):
+        speeds = np.array([0.0, 1.0, 2.0])
+        np.testing.assert_allclose(CUBE_LAW.power_array(speeds), [0.0, 1.0, 8.0])
+
+    def test_validate_passes(self):
+        PowerLaw(2.0).validate()
+        PowerLaw(5.5).validate()
+
+    @given(alphas, positives)
+    @settings(max_examples=60)
+    def test_inverse_roundtrip(self, alpha, s):
+        p = PowerLaw(alpha)
+        assert p.speed(p.power(s)) == pytest.approx(s, rel=1e-9)
+
+    @given(alphas, positives, positives)
+    @settings(max_examples=60)
+    def test_convexity_midpoint(self, alpha, a, b):
+        p = PowerLaw(alpha)
+        assert p.power((a + b) / 2) <= (p.power(a) + p.power(b)) / 2 + 1e-9 * (
+            p.power(a) + p.power(b)
+        )
+
+    @given(alphas, positives)
+    @settings(max_examples=40)
+    def test_marginal_matches_finite_difference(self, alpha, s):
+        p = PowerLaw(alpha)
+        h = max(s * 1e-6, 1e-9)
+        fd = (p.power(s + h) - p.power(max(s - h, 0.0))) / (h + min(s, h))
+        assert p.marginal_power(s) == pytest.approx(fd, rel=1e-3)
+
+
+class TestTabulatedPower:
+    def make(self) -> TabulatedPower:
+        speeds = [0.0, 1.0, 2.0, 3.0]
+        powers = [0.0, 1.0, 8.0, 27.0]
+        return TabulatedPower(speeds, powers)
+
+    def test_interpolation_hits_samples(self):
+        t = self.make()
+        assert t.power(2.0) == pytest.approx(8.0)
+        assert t.speed(8.0) == pytest.approx(2.0)
+
+    def test_interpolation_between_samples(self):
+        t = self.make()
+        assert t.power(1.5) == pytest.approx((1.0 + 8.0) / 2)
+
+    def test_extrapolates_with_final_slope(self):
+        t = self.make()
+        assert t.power(4.0) == pytest.approx(27.0 + 19.0)
+        assert t.speed(27.0 + 19.0) == pytest.approx(4.0)
+
+    def test_marginal_power_piecewise(self):
+        t = self.make()
+        assert t.marginal_power(0.5) == pytest.approx(1.0)
+        assert t.marginal_power(2.5) == pytest.approx(19.0)
+        assert t.marginal_power(10.0) == pytest.approx(19.0)
+
+    def test_rejects_nonconvex(self):
+        with pytest.raises(InvalidPowerFunctionError):
+            TabulatedPower([0.0, 1.0, 2.0], [0.0, 5.0, 6.0])
+
+    def test_rejects_decreasing_power(self):
+        with pytest.raises(InvalidPowerFunctionError):
+            TabulatedPower([0.0, 1.0, 2.0], [0.0, 2.0, 1.0])
+
+    def test_rejects_nonzero_origin(self):
+        with pytest.raises(InvalidPowerFunctionError):
+            TabulatedPower([0.5, 1.0], [0.5, 1.0])
+
+    def test_rejects_unsorted_speeds(self):
+        with pytest.raises(InvalidPowerFunctionError):
+            TabulatedPower([0.0, 2.0, 1.0], [0.0, 1.0, 2.0])
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(InvalidPowerFunctionError):
+            TabulatedPower([0.0, 1.0, 2.0], [0.0, 1.0])
+
+    def test_saturating_curve_is_not_convex(self):
+        # Flat-after-rising violates convexity (P(0)=0 forces slopes to be
+        # non-decreasing), so construction must fail.
+        with pytest.raises(InvalidPowerFunctionError):
+            TabulatedPower([0.0, 1.0, 2.0], [0.0, 1.0, 1.0])
+
+    def test_initial_flat_stretch_inverse_picks_free_speed(self):
+        # Zero slope at the start is convex; the inverse of power 0 is the
+        # *maximal* speed available for free — the scheduling-relevant choice
+        # (the power-equals-weight rule should never run slower for the same
+        # energy).
+        t = TabulatedPower([0.0, 1.0, 2.0], [0.0, 0.0, 1.0])
+        assert t.speed(0.0) == pytest.approx(1.0)
+        assert t.power(0.5) == pytest.approx(0.0)
+        assert t.speed(0.5) == pytest.approx(1.5)
+
+    def test_validate_passes(self):
+        self.make().validate(probe_max=3.0)
+
+    def test_rejects_negative_queries(self):
+        t = self.make()
+        with pytest.raises(ValueError):
+            t.power(-1.0)
+        with pytest.raises(ValueError):
+            t.speed(-1.0)
+        with pytest.raises(ValueError):
+            t.marginal_power(-1.0)

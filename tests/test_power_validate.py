@@ -1,0 +1,77 @@
+"""Coverage for the PowerFunction.validate probe and misuse paths."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import InvalidPowerFunctionError
+from repro.core.power import PowerFunction, PowerLaw
+
+
+class NonZeroOrigin(PowerFunction):
+    def power(self, speed):
+        return speed + 1.0
+
+    def speed(self, power):
+        return max(power - 1.0, 0.0)
+
+    def marginal_power(self, speed):
+        return 1.0
+
+
+class Decreasing(PowerFunction):
+    def power(self, speed):
+        return -speed
+
+    def speed(self, power):
+        return -power
+
+    def marginal_power(self, speed):
+        return -1.0
+
+
+class Concave(PowerFunction):
+    def power(self, speed):
+        return speed**0.5
+
+    def speed(self, power):
+        return power**2
+
+    def marginal_power(self, speed):
+        return 0.5 * speed**-0.5 if speed > 0 else float("inf")
+
+
+class TestValidateProbe:
+    def test_nonzero_origin_rejected(self):
+        with pytest.raises(InvalidPowerFunctionError, match="P\\(0\\)"):
+            NonZeroOrigin().validate()
+
+    def test_decreasing_rejected(self):
+        with pytest.raises(InvalidPowerFunctionError, match="monotone"):
+            Decreasing().validate()
+
+    def test_concave_rejected(self):
+        with pytest.raises(InvalidPowerFunctionError, match="convex"):
+            Concave().validate()
+
+    def test_power_law_passes_all(self):
+        for alpha in (1.5, 2.0, 3.0, 4.0):
+            PowerLaw(alpha).validate()
+
+    def test_default_power_array_fallback(self):
+        """The ABC's elementwise power_array works for custom subclasses."""
+        import numpy as np
+
+        class Quartic(PowerFunction):
+            def power(self, speed):
+                return speed**4
+
+            def speed(self, power):
+                return power**0.25
+
+            def marginal_power(self, speed):
+                return 4 * speed**3
+
+        q = Quartic()
+        np.testing.assert_allclose(q.power_array(np.array([0.0, 1.0, 2.0])), [0.0, 1.0, 16.0])
+        q.validate()

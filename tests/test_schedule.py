@@ -1,0 +1,252 @@
+"""Unit and property tests for segments and schedules."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy.integrate import quad
+
+from repro import PowerLaw
+from repro.core.errors import ScheduleError
+from repro.core.power import TabulatedPower
+from repro.core.schedule import (
+    ConstantSegment,
+    DecaySegment,
+    GrowthSegment,
+    IdleSegment,
+    ScaledSegment,
+    Schedule,
+    ScheduleBuilder,
+)
+
+from conftest import alphas
+
+pos = st.floats(min_value=0.05, max_value=20.0, allow_nan=False)
+
+
+class TestIdleSegment:
+    def test_basics(self):
+        s = IdleSegment(1.0, 3.0, None)
+        assert s.duration == 2.0
+        assert s.speed_at(2.0) == 0.0
+        assert s.volume() == 0.0
+        assert s.energy(PowerLaw(3.0)) == 0.0
+        assert s.flow_integral(1.0) == 0.0
+
+    def test_rejects_job(self):
+        with pytest.raises(ScheduleError):
+            IdleSegment(0.0, 1.0, 5)
+
+    def test_rejects_reversed_times(self):
+        with pytest.raises(ScheduleError):
+            IdleSegment(2.0, 1.0, None)
+
+    def test_time_to_volume(self):
+        s = IdleSegment(0.0, 1.0, None)
+        assert s.time_to_volume(0.0) == 0.0
+        with pytest.raises(ScheduleError):
+            s.time_to_volume(0.5)
+
+    def test_subsegment(self):
+        s = IdleSegment(0.0, 4.0, None).subsegment(1.0, 2.0)
+        assert (s.t0, s.t1) == (1.0, 2.0)
+
+
+class TestConstantSegment:
+    def test_volume_and_energy(self):
+        s = ConstantSegment(0.0, 2.0, 1, 3.0)
+        assert s.volume() == pytest.approx(6.0)
+        assert s.energy(PowerLaw(2.0)) == pytest.approx(18.0)
+
+    def test_volume_until_and_inverse(self):
+        s = ConstantSegment(0.0, 2.0, 1, 3.0)
+        assert s.volume_until(0.5) == pytest.approx(1.5)
+        assert s.time_to_volume(1.5) == pytest.approx(0.5)
+
+    def test_flow_integral(self):
+        s = ConstantSegment(0.0, 2.0, 1, 3.0)
+        assert s.flow_integral(2.0) == pytest.approx(0.5 * 3.0 * 4.0)
+
+    def test_rejects_speed_without_job(self):
+        with pytest.raises(ScheduleError):
+            ConstantSegment(0.0, 1.0, None, 1.0)
+
+    def test_zero_speed_time_to_volume(self):
+        s = ConstantSegment(0.0, 1.0, 1, 0.0)
+        assert s.time_to_volume(0.0) == 0.0
+
+    def test_speed_at_outside_raises(self):
+        s = ConstantSegment(0.0, 1.0, 1, 1.0)
+        with pytest.raises(ScheduleError):
+            s.speed_at(5.0)
+
+    def test_subsegment(self):
+        sub = ConstantSegment(0.0, 2.0, 1, 3.0).subsegment(0.5, 1.5)
+        assert (sub.t0, sub.t1, sub.speed) == (0.5, 1.5, 3.0)
+
+
+class TestPowerLawSegments:
+    @given(pos, st.floats(min_value=0.2, max_value=5.0), alphas)
+    @settings(max_examples=40, deadline=None)
+    def test_decay_energy_closed_form_matches_quadrature(self, w0, rho, alpha):
+        power = PowerLaw(alpha)
+        from repro.core.kernels import decay_time_to_zero
+
+        t1 = 0.8 * decay_time_to_zero(w0, rho, alpha)
+        seg = DecaySegment(0.0, t1, 1, w0, rho, alpha)
+        num, _ = quad(lambda t: power.power(seg.speed_at(t)), 0.0, t1, limit=200)
+        assert seg.energy(power) == pytest.approx(num, rel=1e-6)
+
+    @given(pos, st.floats(min_value=0.2, max_value=5.0), alphas)
+    @settings(max_examples=40, deadline=None)
+    def test_growth_volume_until_inverse(self, u0, rho, alpha):
+        seg = GrowthSegment(0.0, 2.0, 1, u0, rho, alpha)
+        v = seg.volume() * 0.37
+        tau = seg.time_to_volume(v)
+        assert seg.volume_until(tau) == pytest.approx(v, rel=1e-9)
+
+    @given(pos, st.floats(min_value=0.2, max_value=5.0), alphas)
+    @settings(max_examples=40, deadline=None)
+    def test_decay_volume_until_inverse(self, w0, rho, alpha):
+        from repro.core.kernels import decay_time_to_zero
+
+        t1 = 0.9 * decay_time_to_zero(w0, rho, alpha)
+        seg = DecaySegment(0.0, t1, 1, w0, rho, alpha)
+        v = seg.volume() * 0.61
+        tau = seg.time_to_volume(v)
+        assert seg.volume_until(tau) == pytest.approx(v, rel=1e-9)
+
+    def test_decay_weight_at_endpoints(self):
+        seg = DecaySegment(1.0, 2.0, 1, 8.0, 1.0, 3.0)
+        assert seg.weight_at(1.0) == pytest.approx(8.0)
+        assert seg.weight_at(2.0) < 8.0
+
+    def test_growth_speed_increases(self):
+        seg = GrowthSegment(0.0, 2.0, 1, 1.0, 1.0, 3.0)
+        assert seg.speed_at(2.0) > seg.speed_at(0.0)
+
+    def test_decay_speed_decreases(self):
+        seg = DecaySegment(0.0, 1.0, 1, 8.0, 1.0, 3.0)
+        assert seg.speed_at(1.0) < seg.speed_at(0.0)
+
+    def test_requires_job(self):
+        with pytest.raises(ScheduleError):
+            DecaySegment(0.0, 1.0, None, 1.0, 1.0, 3.0)
+
+    def test_energy_numeric_fallback_for_other_power(self):
+        seg = GrowthSegment(0.0, 1.0, 1, 1.0, 1.0, 3.0)
+        tab = TabulatedPower([0.0, 1.0, 2.0, 4.0], [0.0, 1.0, 8.0, 64.0])
+        # Fallback is quadrature; just verify it is finite and positive.
+        assert seg.energy(tab) > 0
+
+    def test_subsegment_continuity(self):
+        seg = GrowthSegment(0.0, 2.0, 1, 1.0, 1.0, 3.0)
+        sub = seg.subsegment(0.5, 1.5)
+        assert sub.speed_at(0.7) == pytest.approx(seg.speed_at(0.7), rel=1e-12)
+        assert sub.volume() == pytest.approx(
+            seg.volume_until(1.5) - seg.volume_until(0.5), rel=1e-9
+        )
+
+    def test_decay_subsegment_continuity(self):
+        seg = DecaySegment(0.0, 1.0, 1, 8.0, 1.0, 3.0)
+        sub = seg.subsegment(0.25, 0.75)
+        assert sub.speed_at(0.5) == pytest.approx(seg.speed_at(0.5), rel=1e-12)
+
+
+class TestScaledSegment:
+    def base(self) -> GrowthSegment:
+        return GrowthSegment(0.0, 2.0, 1, 1.0, 1.0, 3.0)
+
+    def test_speed_and_volume_scale(self):
+        b = self.base()
+        s = ScaledSegment(0.0, 2.0, 1, b, 1.5)
+        assert s.speed_at(1.0) == pytest.approx(1.5 * b.speed_at(1.0))
+        assert s.volume() == pytest.approx(1.5 * b.volume())
+
+    def test_energy_scales_by_factor_to_alpha(self):
+        b = self.base()
+        power = PowerLaw(3.0)
+        s = ScaledSegment(0.0, 2.0, 1, b, 1.5)
+        assert s.energy(power) == pytest.approx(1.5**3 * b.energy(power), rel=1e-12)
+
+    def test_time_to_volume(self):
+        b = self.base()
+        s = ScaledSegment(0.0, 2.0, 1, b, 2.0)
+        v = s.volume() * 0.4
+        assert s.volume_until(s.time_to_volume(v)) == pytest.approx(v, rel=1e-9)
+
+    def test_requires_matching_window(self):
+        with pytest.raises(ScheduleError):
+            ScaledSegment(0.0, 1.0, 1, self.base(), 1.5)
+
+    def test_rejects_nonpositive_factor(self):
+        with pytest.raises(ScheduleError):
+            ScaledSegment(0.0, 2.0, 1, self.base(), 0.0)
+
+    def test_subsegment(self):
+        s = ScaledSegment(0.0, 2.0, 1, self.base(), 1.5)
+        sub = s.subsegment(0.5, 1.0)
+        assert sub.speed_at(0.75) == pytest.approx(s.speed_at(0.75), rel=1e-12)
+
+
+class TestSchedule:
+    def test_rejects_overlap(self):
+        with pytest.raises(ScheduleError):
+            Schedule(
+                [ConstantSegment(0.0, 2.0, 1, 1.0), ConstantSegment(1.0, 3.0, 2, 1.0)]
+            )
+
+    def test_allows_gaps(self):
+        s = Schedule([ConstantSegment(0.0, 1.0, 1, 1.0), ConstantSegment(2.0, 3.0, 2, 1.0)])
+        assert s.speed_at(1.5) == 0.0
+        assert s.end_time == 3.0
+
+    def test_drops_zero_duration(self):
+        s = Schedule([ConstantSegment(0.0, 0.0, 1, 1.0)])
+        assert len(s) == 0
+
+    def test_processed_volume_until(self):
+        s = Schedule([ConstantSegment(0.0, 2.0, 1, 1.0), ConstantSegment(2.0, 4.0, 1, 2.0)])
+        assert s.processed_volume(1) == pytest.approx(6.0)
+        assert s.processed_volume_until(1, 3.0) == pytest.approx(4.0)
+
+    def test_completion_time_spanning_segments(self):
+        s = Schedule([ConstantSegment(0.0, 2.0, 1, 1.0), ConstantSegment(3.0, 5.0, 1, 1.0)])
+        assert s.completion_time(1, 3.0) == pytest.approx(4.0)
+
+    def test_completion_time_unreachable_raises(self):
+        s = Schedule([ConstantSegment(0.0, 1.0, 1, 1.0)])
+        with pytest.raises(ScheduleError):
+            s.completion_time(1, 5.0)
+
+    def test_job_at(self):
+        s = Schedule([ConstantSegment(0.0, 1.0, 1, 1.0), ConstantSegment(1.0, 2.0, 2, 1.0)])
+        assert s.job_at(0.5) == 1
+        assert s.job_at(1.0) == 2  # boundary: later segment wins
+        assert s.job_at(5.0) is None
+
+    def test_job_segments(self):
+        s = Schedule([ConstantSegment(0.0, 1.0, 1, 1.0), ConstantSegment(1.0, 2.0, 2, 1.0)])
+        assert len(s.job_segments(1)) == 1
+
+
+class TestScheduleBuilder:
+    def test_appends_in_order(self):
+        b = ScheduleBuilder()
+        b.append(ConstantSegment(0.0, 1.0, 1, 1.0))
+        b.append(ConstantSegment(1.0, 2.0, 2, 1.0))
+        assert len(b.build()) == 2
+        assert b.clock == 2.0
+
+    def test_rejects_backwards_append(self):
+        b = ScheduleBuilder()
+        b.append(ConstantSegment(0.0, 2.0, 1, 1.0))
+        with pytest.raises(ScheduleError):
+            b.append(ConstantSegment(1.0, 3.0, 2, 1.0))
+
+    def test_gap_append_allowed(self):
+        b = ScheduleBuilder()
+        b.append(ConstantSegment(0.0, 1.0, 1, 1.0))
+        b.append(ConstantSegment(5.0, 6.0, 2, 1.0))
+        assert b.build().end_time == 6.0

@@ -1,0 +1,139 @@
+"""Property tests over randomly-built schedules (not algorithm outputs).
+
+A hypothesis strategy assembles arbitrary valid segment sequences mixing all
+profile types; the invariants below must hold for *any* such schedule, which
+exercises the segment algebra far beyond what the algorithms produce.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import PowerLaw
+from repro.core.kernels import decay_time_to_zero
+from repro.core.schedule import (
+    ConstantSegment,
+    DecaySegment,
+    GrowthSegment,
+    IdleSegment,
+    Schedule,
+)
+
+ALPHA = 3.0
+POWER = PowerLaw(ALPHA)
+
+
+@st.composite
+def segments_lists(draw, max_segments: int = 6):
+    t = 0.0
+    out = []
+    n = draw(st.integers(min_value=1, max_value=max_segments))
+    for k in range(n):
+        gap = draw(st.floats(min_value=0.0, max_value=1.0))
+        dur = draw(st.floats(min_value=0.05, max_value=2.0))
+        kind = draw(st.sampled_from(["idle", "const", "decay", "growth"]))
+        t0, t1 = t + gap, t + gap + dur
+        job = draw(st.integers(min_value=0, max_value=3))
+        if kind == "idle":
+            out.append(IdleSegment(t0, t1, None))
+        elif kind == "const":
+            speed = draw(st.floats(min_value=0.0, max_value=5.0))
+            out.append(ConstantSegment(t0, t1, job, speed))
+        elif kind == "decay":
+            x0 = draw(st.floats(min_value=0.5, max_value=20.0))
+            rho = draw(st.floats(min_value=0.2, max_value=4.0))
+            # Keep the decay alive through the whole segment.
+            max_dur = 0.95 * decay_time_to_zero(x0, rho, ALPHA)
+            t1 = t0 + min(dur, max_dur)
+            out.append(DecaySegment(t0, t1, job, x0, rho, ALPHA))
+        else:
+            x0 = draw(st.floats(min_value=0.0, max_value=10.0))
+            rho = draw(st.floats(min_value=0.2, max_value=4.0))
+            out.append(GrowthSegment(t0, t1, job, x0, rho, ALPHA))
+        t = t1
+    return out
+
+
+class TestScheduleInvariants:
+    @given(segments_lists())
+    @settings(max_examples=60, deadline=None)
+    def test_volume_additivity(self, segs):
+        """volume_until at the midpoint plus the rest equals the total."""
+        for seg in segs:
+            mid = seg.duration / 2
+            a = seg.volume_until(mid)
+            total = seg.volume()
+            assert 0 <= a <= total * (1 + 1e-9) + 1e-12
+            # Second half = total - first half, via the absolute accessor.
+            assert seg.volume_until(seg.duration) == pytest.approx(total, rel=1e-9, abs=1e-12)
+
+    @given(segments_lists())
+    @settings(max_examples=60, deadline=None)
+    def test_flow_integral_monotone_convexity(self, segs):
+        """flow_integral is nondecreasing and bounded by volume * tau."""
+        for seg in segs:
+            f_half = seg.flow_integral(seg.duration / 2)
+            f_full = seg.flow_integral(seg.duration)
+            assert -1e-12 <= f_half <= f_full + 1e-12
+            assert f_full <= seg.volume() * seg.duration * (1 + 1e-9) + 1e-12
+
+    @given(segments_lists())
+    @settings(max_examples=60, deadline=None)
+    def test_energy_nonnegative_and_consistent(self, segs):
+        for seg in segs:
+            assert seg.energy(POWER) >= -1e-12
+
+    @given(segments_lists())
+    @settings(max_examples=60, deadline=None)
+    def test_speed_nonnegative_within_bounds(self, segs):
+        for seg in segs:
+            for frac in (0.0, 0.3, 1.0):
+                s = seg.speed_at(seg.t0 + frac * seg.duration)
+                assert s >= 0.0
+
+    @given(segments_lists())
+    @settings(max_examples=60, deadline=None)
+    def test_subsegment_partition_preserves_volume(self, segs):
+        """Splitting a segment at any point conserves total volume."""
+        for seg in segs:
+            cut = seg.duration * 0.37
+            a = seg.subsegment(0.0, cut)
+            b = seg.subsegment(cut, seg.duration)
+            assert a.volume() + b.volume() == pytest.approx(
+                seg.volume(), rel=1e-9, abs=1e-12
+            )
+
+    @given(segments_lists())
+    @settings(max_examples=60, deadline=None)
+    def test_subsegment_partition_preserves_energy(self, segs):
+        for seg in segs:
+            cut = seg.duration * 0.61
+            a = seg.subsegment(0.0, cut)
+            b = seg.subsegment(cut, seg.duration)
+            assert a.energy(POWER) + b.energy(POWER) == pytest.approx(
+                seg.energy(POWER), rel=1e-9, abs=1e-12
+            )
+
+    @given(segments_lists())
+    @settings(max_examples=40, deadline=None)
+    def test_schedule_assembles_and_queries(self, segs):
+        sched = Schedule(segs)
+        end = sched.end_time
+        assert end >= 0
+        # speed_at never raises inside the span and is 0 in gaps.
+        for k in range(5):
+            t = end * k / 4 if end > 0 else 0.0
+            assert sched.speed_at(t) >= 0.0
+
+    @given(segments_lists())
+    @settings(max_examples=40, deadline=None)
+    def test_time_to_volume_inverts_volume_until(self, segs):
+        for seg in segs:
+            v = seg.volume()
+            if v <= 1e-12:
+                continue
+            target = v * 0.5
+            tau = seg.time_to_volume(target)
+            assert seg.volume_until(tau) == pytest.approx(target, rel=1e-6, abs=1e-12)

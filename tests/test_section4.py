@@ -1,0 +1,72 @@
+"""Tests for the §4.1 property probes (ζ, γ, ψ measurements)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Instance, Job, PowerLaw
+from repro.algorithms import eta_threshold, simulate_nc_general
+from repro.analysis import Section4Trace, shadow_properties
+
+
+@pytest.fixture(scope="module")
+def general_run():
+    cube = PowerLaw(3.0)
+    inst = Instance(
+        [Job(0, 0.0, 1.5, 1.0), Job(1, 0.4, 0.8, 5.0), Job(2, 0.9, 0.6, 1.0)]
+    )
+    return simulate_nc_general(inst, cube, max_step=1e-2)
+
+
+class TestShadowProperties:
+    def test_properties_hold_at_default_eta(self, general_run):
+        tr = shadow_properties(general_run, samples=12)
+        assert tr.properties_hold
+        assert 0 < tr.zeta_min < 1.0
+        assert tr.gamma_min > 0
+        assert tr.psi_min > 0
+
+    def test_more_samples_never_raise_minima(self, general_run):
+        coarse = shadow_properties(general_run, samples=8)
+        fine = shadow_properties(general_run, samples=24)
+        # A superset-ish sample grid can only find worse (smaller) minima, up
+        # to grid non-nesting slack.
+        assert fine.zeta_min <= coarse.zeta_min * 1.25
+
+    def test_zeta_increases_with_eta(self):
+        cube = PowerLaw(3.0)
+        inst = Instance([Job(0, 0.0, 1.0, 1.0), Job(1, 0.3, 0.7, 5.0)])
+        thr = eta_threshold(3.0)
+        lo = shadow_properties(
+            simulate_nc_general(inst, cube, eta=1.1 * thr, max_step=1e-2), samples=10
+        )
+        hi = shadow_properties(
+            simulate_nc_general(inst, cube, eta=2.5 * thr, max_step=1e-2), samples=10
+        )
+        assert hi.zeta_min > lo.zeta_min
+
+    def test_single_job_zeta_matches_self_similar_theory(self):
+        """On a lone job the measured zeta approaches ((c2-1)/c2)^{1/beta}."""
+        cube = PowerLaw(3.0)
+        thr = eta_threshold(3.0)
+        eta = 2.0 * thr
+        inst = Instance([Job(0, 0.0, 2.0, 1.0)])
+        run = simulate_nc_general(inst, cube, eta=eta, max_step=2e-3)
+        tr = shadow_properties(run, samples=12)
+        # c2 solves c^{3/2}/(c-1)^{1/2} = eta; the weight-ratio prediction
+        # is ((c2-1)/c2)^{1/beta} with beta = 2/3 (the remaining weight is
+        # (beta*t*(c-1))^{1/beta} against processed (c*beta*t)^{1/beta}).
+        lo, hi = 1.5, 64.0
+        for _ in range(200):
+            mid = 0.5 * (lo + hi)
+            if mid**1.5 / (mid - 1.0) ** 0.5 < eta:
+                lo = mid
+            else:
+                hi = mid
+        zeta_theory = ((lo - 1.0) / lo) ** 1.5
+        assert tr.zeta_min == pytest.approx(zeta_theory, rel=0.02)
+
+    def test_trace_dataclass(self):
+        tr = Section4Trace(0.5, 0.2, 1.0, 10)
+        assert tr.properties_hold
+        assert not Section4Trace(0.0, 0.2, 1.0, 10).properties_hold

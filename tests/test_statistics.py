@@ -1,0 +1,79 @@
+"""Tests for per-job flow/slowdown statistics."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro import Instance, Job, PowerLaw
+from repro.algorithms import simulate_clairvoyant, simulate_nc_uniform
+from repro.analysis import fleet_statistics, job_statistics
+from repro.core import evaluate
+
+from conftest import uniform_instances
+
+
+class TestJobStatistics:
+    def test_single_job_slowdown(self, cube):
+        inst = Instance([Job(0, 0.0, 8.0)])
+        rep = evaluate(simulate_clairvoyant(inst, cube).schedule, inst, cube)
+        stats = job_statistics(rep, inst)
+        # Completion at W^beta/beta = 6; ideal at speed 1 is 8 -> slowdown 0.75.
+        assert stats.jobs[0].flow_time == pytest.approx(6.0, rel=1e-9)
+        assert stats.jobs[0].slowdown == pytest.approx(0.75, rel=1e-9)
+
+    def test_reference_speed_scales_slowdown(self, cube, three_jobs):
+        rep = evaluate(simulate_clairvoyant(three_jobs, cube).schedule, three_jobs, cube)
+        s1 = job_statistics(rep, three_jobs, reference_speed=1.0)
+        s2 = job_statistics(rep, three_jobs, reference_speed=2.0)
+        assert s2.jobs[0].slowdown == pytest.approx(2 * s1.jobs[0].slowdown)
+
+    def test_rejects_bad_reference(self, cube, three_jobs):
+        rep = evaluate(simulate_clairvoyant(three_jobs, cube).schedule, three_jobs, cube)
+        with pytest.raises(ValueError):
+            job_statistics(rep, three_jobs, reference_speed=0.0)
+
+    def test_weighted_flow_matches_report(self, cube, three_jobs):
+        rep = evaluate(simulate_clairvoyant(three_jobs, cube).schedule, three_jobs, cube)
+        stats = job_statistics(rep, three_jobs)
+        for js in stats.jobs:
+            assert js.weighted_flow == rep.integral_flow_by_job[js.job_id]
+
+
+class TestFleetStats:
+    def test_summaries(self, cube, three_jobs):
+        rep = evaluate(simulate_clairvoyant(three_jobs, cube).schedule, three_jobs, cube)
+        stats = job_statistics(rep, three_jobs)
+        assert stats.max_flow() >= stats.mean_flow() > 0
+        assert stats.percentile_slowdown(100) == pytest.approx(
+            max(j.slowdown for j in stats.jobs)
+        )
+        with pytest.raises(ValueError):
+            stats.percentile_slowdown(150)
+
+    def test_worst_jobs_ranked(self, cube, three_jobs):
+        rep = evaluate(simulate_clairvoyant(three_jobs, cube).schedule, three_jobs, cube)
+        stats = job_statistics(rep, three_jobs)
+        worst = stats.worst_jobs(2)
+        assert len(worst) == 2
+        assert worst[0].slowdown >= worst[1].slowdown
+
+    @given(uniform_instances(max_jobs=6))
+    @settings(max_examples=15, deadline=None)
+    def test_weighted_flow_totals_ordered(self, inst):
+        """The guaranteed ordering (Lemma 4): NC's total weighted flow is
+        exactly 1/(1-1/alpha) times C's, hence never smaller.  (Per-job or
+        unweighted means are NOT ordered in general — NC can finish an
+        individual job earlier.)"""
+        power = PowerLaw(3.0)
+        rc = evaluate(simulate_clairvoyant(inst, power).schedule, inst, power)
+        rn = evaluate(simulate_nc_uniform(inst, power).schedule, inst, power)
+        fleet = fleet_statistics({"C": rc, "NC": rn}, inst)
+        total_c = sum(j.weighted_flow for j in fleet["C"].jobs)
+        total_nc = sum(j.weighted_flow for j in fleet["NC"].jobs)
+        # Integral flows are not exactly related, but fractional ones are;
+        # assert the robust direction on the integral totals with slack via
+        # Lemma 8: F_int(NC) >= F_frac(NC) = 1.5 * F_frac(C) >= ... use the
+        # report's fractional fields directly for the exact claim.
+        assert rn.fractional_flow >= rc.fractional_flow * (1 - 1e-9)
+        assert total_c > 0 and total_nc > 0

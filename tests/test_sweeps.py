@@ -1,0 +1,60 @@
+"""Tests for the sweep API."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.sweeps import SweepPoint, alpha_grid, sweep
+
+
+class TestSweepPoint:
+    def test_statistics(self):
+        pt = SweepPoint(2.0, (1.0, 3.0, 2.0))
+        assert pt.worst == 3.0
+        assert pt.best == 1.0
+        assert pt.mean == pytest.approx(2.0)
+
+
+class TestSweep:
+    def test_evaluates_each_value(self):
+        calls = []
+
+        def measure(v):
+            calls.append(v)
+            return [v, v * 2]
+
+        pts = sweep([1.0, 2.0], measure)
+        assert calls == [1.0, 2.0]
+        assert pts[1].worst == 4.0
+
+    def test_rejects_empty_samples(self):
+        with pytest.raises(ValueError):
+            sweep([1.0], lambda v: [])
+
+    def test_coerces_to_float(self):
+        pts = sweep([1], lambda v: [2])
+        assert isinstance(pts[0].value, float)
+        assert isinstance(pts[0].samples[0], float)
+
+
+class TestAlphaGrid:
+    def test_endpoints(self):
+        grid = alpha_grid(1.5, 6.0, 7)
+        assert grid[0] == pytest.approx(1.5)
+        assert grid[-1] == pytest.approx(6.0)
+        assert len(grid) == 7
+
+    def test_geometric_spacing(self):
+        grid = alpha_grid(2.0, 8.0, 3)
+        assert grid[1] == pytest.approx(4.0)
+
+    def test_all_above_one(self):
+        assert all(a > 1.0 for a in alpha_grid())
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            alpha_grid(0.5, 6.0)
+        with pytest.raises(ValueError):
+            alpha_grid(3.0, 2.0)
+        with pytest.raises(ValueError):
+            alpha_grid(1.5, 6.0, 1)

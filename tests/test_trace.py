@@ -1,0 +1,63 @@
+"""Tests for CSV trace import/export."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.errors import InvalidInstanceError
+from repro.workloads import read_trace, trace_from_string, write_trace
+
+from conftest import general_instances
+
+
+class TestParse:
+    def test_basic(self):
+        inst = trace_from_string(
+            "job_id,release,volume,density\n0,0.0,2.0,1.0\n1,1.5,1.0,4.0\n"
+        )
+        assert inst.job_ids == (0, 1)
+        assert inst[1].density == 4.0
+
+    def test_density_optional(self):
+        inst = trace_from_string("job_id,release,volume\n0,0.0,2.0\n")
+        assert inst[0].density == 1.0
+
+    def test_empty_density_cell_defaults(self):
+        inst = trace_from_string("job_id,release,volume,density\n0,0.0,2.0,\n")
+        assert inst[0].density == 1.0
+
+    def test_missing_column_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            trace_from_string("job_id,release\n0,0.0\n")
+
+    def test_bad_value_reports_line(self):
+        with pytest.raises(InvalidInstanceError, match="line 3"):
+            trace_from_string("job_id,release,volume\n0,0.0,1.0\n1,xyz,1.0\n")
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            trace_from_string("job_id,release,volume\n")
+        with pytest.raises(InvalidInstanceError):
+            trace_from_string("")
+
+    def test_invalid_job_values_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            trace_from_string("job_id,release,volume\n0,0.0,-1.0\n")
+
+
+class TestRoundTrip:
+    @given(general_instances(max_jobs=8))
+    @settings(max_examples=25, deadline=None)
+    def test_file_roundtrip_exact(self, inst):
+        import os
+        import tempfile
+
+        fd, path = tempfile.mkstemp(suffix=".csv")
+        os.close(fd)
+        try:
+            write_trace(path, inst)
+            again = read_trace(path)
+            assert again.jobs == inst.jobs
+        finally:
+            os.unlink(path)

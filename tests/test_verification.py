@@ -1,0 +1,60 @@
+"""Tests for the paper-claims verifier."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro import Instance, Job, PowerLaw
+from repro.analysis import ClaimCheck, verify_paper_claims
+
+from conftest import uniform_instances
+
+
+class TestClaimCheck:
+    def test_equality_holds(self):
+        c = ClaimCheck("L", "s", 1.0, 1.0 + 1e-9, 1e-6, "equality")
+        assert c.holds
+
+    def test_equality_fails(self):
+        c = ClaimCheck("L", "s", 1.0, 2.0, 1e-6, "equality")
+        assert not c.holds
+
+    def test_upper_bound(self):
+        assert ClaimCheck("L", "s", 1.0, 2.0, 0.0, "upper-bound").holds
+        assert not ClaimCheck("L", "s", 3.0, 2.0, 0.0, "upper-bound").holds
+
+    def test_str_rendering(self):
+        s = str(ClaimCheck("Lemma 3", "energy equality", 1.0, 1.0, 1e-6, "equality"))
+        assert "Lemma 3" in s and "OK" in s
+
+
+class TestVerifyUniform:
+    def test_all_claims_hold(self, cube, three_jobs):
+        results = verify_paper_claims(three_jobs, cube, slots=150, iterations=600)
+        assert all(r.holds for r in results), [str(r) for r in results if not r.holds]
+        names = {r.claim for r in results}
+        assert {"Theorem 1 (identity)", "Lemma 3", "Lemma 4", "Theorem 5", "Theorem 9"} <= names
+
+    def test_parallel_claims_included(self, cube, three_jobs):
+        results = verify_paper_claims(
+            three_jobs, cube, machines=2, slots=120, iterations=400
+        )
+        names = {r.claim for r in results}
+        assert {"Lemma 20", "Lemma 21", "Lemma 22"} <= names
+        assert all(r.holds for r in results), [str(r) for r in results if not r.holds]
+
+    @given(uniform_instances(max_jobs=4))
+    @settings(max_examples=6, deadline=None)
+    def test_random_instances(self, inst):
+        power = PowerLaw(3.0)
+        results = verify_paper_claims(inst, power, slots=120, iterations=400)
+        assert all(r.holds for r in results), [str(r) for r in results if not r.holds]
+
+
+class TestVerifyNonUniform:
+    def test_only_applicable_claims(self, cube, mixed_density_jobs):
+        results = verify_paper_claims(mixed_density_jobs, cube)
+        names = {r.claim for r in results}
+        assert names == {"Theorem 1 (identity)"}
+        assert all(r.holds for r in results)
