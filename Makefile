@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction.
 
-.PHONY: install test bench examples reproduce clean
+.PHONY: install test bench bench-smoke check examples reproduce clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -10,6 +10,14 @@ test:
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+# Fast benchmark subset: the shadow-layer speedup gate (writes
+# benchmarks/out/BENCH_general_density.json) plus the eta/beta ablation.
+bench-smoke:
+	pytest benchmarks/bench_general_density.py benchmarks/bench_ablation_eta_beta.py --benchmark-only
+
+# The one-stop entrypoint: tier-1 tests, then the benchmark smoke gate.
+check: test bench-smoke
 
 examples:
 	python examples/quickstart.py

@@ -19,7 +19,7 @@ from repro.analysis import format_table
 from repro.core import evaluate
 from repro.core.errors import SimulationError
 
-from conftest import emit
+from conftest import emit, emit_json
 
 ALPHA = 3.0
 
@@ -78,6 +78,33 @@ def test_ablation_eta_beta(benchmark):
         floatfmt=".3f",
     )
     emit("ablation_eta_beta", out)
+    emit_json(
+        "ablation_eta_beta",
+        {
+            "alpha": ALPHA,
+            "eta_threshold": thr,
+            "eta_sweep": [
+                {
+                    "label": r[0],
+                    "eta": r[1],
+                    "energy": r[2],
+                    "fractional_flow": r[3],
+                    "fractional_objective": r[4],
+                }
+                for r in eta_rows
+            ],
+            "below_threshold_probe": below,
+            "beta_sweep": [
+                {
+                    "beta": r[0],
+                    "energy": r[1],
+                    "fractional_flow": r[2],
+                    "fractional_objective": r[3],
+                }
+                for r in beta_rows
+            ],
+        },
+    )
 
     # Larger eta must cost more energy (the eta^alpha factor).
     energies = [r[2] for r in eta_rows]

@@ -4,19 +4,34 @@ Measures, per suite instance: the fractional ratio of NC-general against a
 certified OPT lower bound, the same after the §5 conversion for the integral
 objective (Theorem 16), and the ratio against Algorithm C (the constant the
 paper proves is 2^{O(alpha)}).
+
+A second experiment times the incremental clairvoyant-shadow layer against
+the legacy resume-from-checkpoint shadow on larger instances (n >= 50) and
+archives wall-clock, shadow-call counters and objective values to
+``out/BENCH_general_density.json``; the two modes must agree exactly and the
+incremental layer must be at least 5x faster.
 """
 
 from __future__ import annotations
+
+import gc
+import time
 
 from repro import PowerLaw
 from repro.algorithms import convert, simulate_clairvoyant, simulate_nc_general
 from repro.analysis import format_table, nonuniform_suite
 from repro.core import evaluate
 from repro.offline import opt_fractional_lower_bound, opt_integral_lower_bound
+from repro.workloads import random_instance
 
-from conftest import emit
+from conftest import emit, emit_json
 
 ALPHA = 3.0
+#: (jobs, seed) pairs for the shadow-layer timing experiment.
+SPEED_CASES = ((50, 301), (80, 301))
+#: acceptance floor for the incremental layer at n >= 50.
+MIN_SPEEDUP = 5.0
+_TIMING_ROUNDS = 5
 
 
 def _run():
@@ -41,6 +56,55 @@ def _run():
     return rows
 
 
+def _time_shadow_modes():
+    """Best-of-N wall-clock of the two shadow modes on identical instances."""
+    power = PowerLaw(ALPHA)
+    records = []
+    for n, seed in SPEED_CASES:
+        inst = random_instance(n, seed=seed, volume="uniform", density="loguniform")
+        best: dict[str, float] = {}
+        runs = {}
+        # Interleave the modes round by round (with GC paused) so load drift
+        # on the host penalizes both equally.
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            for _ in range(_TIMING_ROUNDS):
+                for mode in ("resume", "incremental"):
+                    t0 = time.perf_counter()
+                    run = simulate_nc_general(
+                        inst, power, max_step=2e-2, shadow_mode=mode
+                    )
+                    dt = time.perf_counter() - t0
+                    if mode not in best or dt < best[mode]:
+                        best[mode] = dt
+                    runs[mode] = run
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+        per_mode = {}
+        for mode, run in runs.items():
+            rep = evaluate(run.schedule, inst, power)
+            per_mode[mode] = {
+                "wall_clock_s": best[mode],
+                "engine_steps": run.engine_steps,
+                "counters": run.counters.as_dict(),
+                "energy": rep.energy,
+                "fractional_flow": rep.fractional_flow,
+                "fractional_objective": rep.fractional_objective,
+            }
+        records.append(
+            {
+                "jobs": n,
+                "seed": seed,
+                "modes": per_mode,
+                "speedup": per_mode["resume"]["wall_clock_s"]
+                / per_mode["incremental"]["wall_clock_s"],
+            }
+        )
+    return records
+
+
 def test_general_density(benchmark):
     rows = benchmark.pedantic(_run, rounds=1, iterations=1)
     table = format_table(
@@ -49,10 +113,57 @@ def test_general_density(benchmark):
         title=f"§4 NC-general (alpha={ALPHA}, default eta/beta); constants are 2^O(alpha)",
         floatfmt=".3f",
     )
+
+    speed = _time_shadow_modes()
+    speed_rows = [
+        [
+            f"n={r['jobs']} seed={r['seed']}",
+            r["modes"]["resume"]["wall_clock_s"],
+            r["modes"]["incremental"]["wall_clock_s"],
+            r["speedup"],
+            r["modes"]["incremental"]["counters"]["queries"],
+            r["modes"]["incremental"]["counters"]["rebuilds"],
+        ]
+        for r in speed
+    ]
+    table += "\n" + format_table(
+        ["case", "resume [s]", "incremental [s]", "speedup", "queries", "rebuilds"],
+        speed_rows,
+        title="incremental shadow layer vs legacy resume (best of "
+        f"{_TIMING_ROUNDS}, identical trajectories)",
+        floatfmt=".3f",
+    )
     emit("general_density", table)
+    emit_json(
+        "general_density",
+        {
+            "alpha": ALPHA,
+            "competitive_rows": [
+                {
+                    "instance": row[0],
+                    "jobs": row[1],
+                    "frac_ratio_vs_opt_lb": row[2],
+                    "int_ratio_vs_opt_lb": row[3],
+                    "ratio_vs_c": row[4],
+                }
+                for row in rows
+            ],
+            "shadow_speed": speed,
+        },
+    )
+
     for row in rows:
         # Constant-competitive: generous 2^{O(alpha)} cap, far below any
         # load-dependent blow-up.
         assert row[2] < 200.0
         assert row[3] < 400.0
         assert row[4] < 100.0
+    for r in speed:
+        res, inc = r["modes"]["resume"], r["modes"]["incremental"]
+        # The two shadow modes must drive bit-identical trajectories...
+        assert res["engine_steps"] == inc["engine_steps"]
+        assert res["fractional_objective"] == inc["fractional_objective"]
+        # ...and the incremental layer must actually pay for itself.
+        assert r["speedup"] >= MIN_SPEEDUP, (
+            f"incremental shadow only {r['speedup']:.2f}x faster at n={r['jobs']}"
+        )

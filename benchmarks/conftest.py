@@ -9,6 +9,7 @@ a copy under ``benchmarks/out/``.
 
 from __future__ import annotations
 
+import json
 import pathlib
 import sys
 
@@ -24,6 +25,17 @@ def emit(name: str, text: str) -> None:
     sys.__stdout__.flush()
     OUT_DIR.mkdir(exist_ok=True)
     (OUT_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def emit_json(name: str, payload: dict) -> None:
+    """Archive a machine-readable companion to :func:`emit`.
+
+    Written to ``benchmarks/out/BENCH_<name>.json`` — wall-clock numbers,
+    shadow-call counters and objective values that downstream tooling (or the
+    next session's regression check) can diff without parsing tables.
+    """
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / f"BENCH_{name}.json").write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
 
 
 @pytest.fixture

@@ -8,10 +8,12 @@ Theorem 1: Algorithm C is 2-competitive for fractional weighted flow-time plus
 energy, and its total fractional flow-time *equals* its total energy — both
 are ``∫ W(t) dt``.
 
-This module simulates Algorithm C *exactly* for ``P(s)=s**alpha`` by advancing
-the closed-form weight decay between scheduler events (releases and
-completions); see :mod:`repro.core.kernels`.  For general power functions use
-:class:`ClairvoyantPolicy` on the numeric engine.
+This module simulates Algorithm C *exactly* for ``P(s)=s**alpha`` by driving
+the incremental :class:`~repro.core.shadow.ClairvoyantShadow` — the closed-form
+weight decay between scheduler events (releases and completions); see
+:mod:`repro.core.kernels` — and recording one :class:`DecaySegment` per event.
+For general power functions use :class:`ClairvoyantPolicy` on the numeric
+engine.
 """
 
 from __future__ import annotations
@@ -20,11 +22,10 @@ import math
 from dataclasses import dataclass
 
 from ..core.engine import SchedulingPolicy
-from ..core.kernels import decay_time_between, decay_weight_after
-from ..core.errors import SimulationError
 from ..core.job import Instance, Job
 from ..core.power import PowerFunction, PowerLaw
 from ..core.schedule import DecaySegment, Schedule, ScheduleBuilder
+from ..core.shadow import ClairvoyantShadow, SimulationContext
 
 __all__ = ["ClairvoyantRun", "simulate_clairvoyant", "ClairvoyantPolicy", "hdf_key"]
 
@@ -93,6 +94,7 @@ def simulate_clairvoyant(
     *,
     until: float | None = None,
     resume: tuple[float, dict[int, float]] | None = None,
+    context: SimulationContext | None = None,
 ) -> ClairvoyantRun:
     """Exact event-driven simulation of Algorithm C under ``P(s)=s**alpha``.
 
@@ -107,79 +109,49 @@ def simulate_clairvoyant(
     already completed; jobs released at or after ``t0`` are admitted as
     usual.  Used by Algorithm NC-general to avoid re-simulating the invariant
     prefix of its shadow runs.
+
+    ``context`` — if given — routes the shadow's counters into that
+    :class:`~repro.core.shadow.SimulationContext` for observability.
     """
     if not isinstance(power, PowerLaw):
         raise TypeError("analytic Algorithm C requires a PowerLaw; use ClairvoyantPolicy otherwise")
     alpha = power.alpha
     horizon = math.inf if until is None else float(until)
 
-    releases = list(instance.jobs)
-    next_rel = 0
-    # Active set: job -> remaining volume, processed in HDF order.
-    remaining: dict[int, float] = {}
     builder = ScheduleBuilder()
-    t = 0.0
+
+    def record(kind: str, t0: float, t1: float, jid: int, w0: float) -> None:
+        builder.append(DecaySegment(t0, t1, jid, w0, instance[jid].density, alpha))
+
+    shadow = ClairvoyantShadow(
+        alpha, record=record, counters=context.counters if context is not None else None
+    )
     if resume is not None:
-        t, ckpt = resume
-        remaining = {j: v for j, v in ckpt.items() if v > 0.0}
+        t0, ckpt = resume
+        shadow.load_state(
+            t0,
+            [
+                (j, instance[j].density, instance[j].release, v)
+                for j, v in ckpt.items()
+                if v > 0.0
+            ],
+        )
         covered = set(ckpt.keys())
-        releases = [
-            j
-            for j in releases
-            if j.job_id not in covered and j.release >= t * (1.0 - _TIE_TOL) - 1e-300
-        ]
+        for job in instance.jobs:
+            if job.job_id not in covered and job.release >= t0 * (1.0 - _TIE_TOL) - 1e-300:
+                shadow.insert_job(job.job_id, job.release, job.density, job.volume)
+    else:
+        for job in instance.jobs:
+            shadow.insert_job(job.job_id, job.release, job.density, job.volume)
 
-    def admit(now: float) -> None:
-        # Tolerances are *relative*: shadow simulations (Algorithm NC-general's
-        # speed rule) legitimately run this loop at picosecond scales where any
-        # absolute slack would swallow the whole dynamics.
-        nonlocal next_rel
-        while next_rel < len(releases) and releases[next_rel].release <= now * (1.0 + _TIE_TOL):
-            remaining[releases[next_rel].job_id] = releases[next_rel].volume
-            next_rel += 1
-
-    admit(t)
-    while t < horizon and (remaining or next_rel < len(releases)):
-        if not remaining:
-            t = min(releases[next_rel].release, horizon)
-            admit(t)
-            continue
-        current = min((instance[j] for j in remaining), key=hdf_key)
-        w_total = sum(instance[j].density * v for j, v in remaining.items())
-        if w_total <= 0:
-            raise SimulationError("active set with zero weight")
-        w_end = w_total - current.density * remaining[current.job_id]
-        tau_complete = decay_time_between(w_total, max(w_end, 0.0), current.density, alpha)
-        t_next_event = releases[next_rel].release if next_rel < len(releases) else math.inf
-        t_stop = min(t + tau_complete, t_next_event, horizon)
-
-        if t_stop >= t + tau_complete * (1.0 - _TIE_TOL):
-            # The current job completes first.
-            builder.append(
-                DecaySegment(t, t + tau_complete, current.job_id, w_total, current.density, alpha)
-            )
-            t = t + tau_complete
-            del remaining[current.job_id]
-        else:
-            tau = t_stop - t
-            if tau > 0:
-                w_after = decay_weight_after(w_total, current.density, tau, alpha)
-                dv = (w_total - w_after) / current.density
-                builder.append(DecaySegment(t, t_stop, current.job_id, w_total, current.density, alpha))
-                remaining[current.job_id] = max(remaining[current.job_id] - dv, 0.0)
-                # Only drop exact zeros.  A remainder like 1e-15 is usually
-                # the *analytically correct* value (for alpha near 1 the
-                # weight curve is extremely flat near completion: remaining
-                # weight (beta*dt)**(1/beta) underflows fast), and the
-                # growth/decay kernels recover its beta-th root accurately;
-                # cutting it would visibly break the Lemma 3/4 equalities.
-                if remaining[current.job_id] <= 0.0:
-                    del remaining[current.job_id]
-            t = t_stop
-        admit(t)
-
+    shadow.advance(horizon)
+    shadow.materialize()
     return ClairvoyantRun(
-        instance=instance, power=power, schedule=builder.build(), clock=t, remaining=dict(remaining)
+        instance=instance,
+        power=power,
+        schedule=builder.build(),
+        clock=shadow.clock,
+        remaining=shadow.remaining_dict(),
     )
 
 

@@ -27,7 +27,7 @@ from ..core.metrics import CostReport, evaluate
 from ..core.power import PowerFunction
 from ..core.schedule import ScaledSegment, Schedule
 
-__all__ = ["to_integral_schedule", "IntegralConversion", "convert"]
+__all__ = ["to_integral_schedule", "IntegralConversion", "convert", "convert_run"]
 
 _TOL = 1e-9
 
@@ -96,3 +96,14 @@ def convert(
         fractional_report=evaluate(schedule, instance, power),
         integral_report=evaluate(integral, instance, power),
     )
+
+
+def convert_run(run, epsilon: float) -> IntegralConversion:
+    """Apply the reduction to a simulator outcome.
+
+    Accepts any run object exposing ``schedule``, ``instance`` and ``power``
+    (:class:`~repro.algorithms.clairvoyant.ClairvoyantRun`,
+    :class:`~repro.algorithms.nc_uniform.NCUniformRun`,
+    :class:`~repro.algorithms.nc_general.NCGeneralRun`, …), so callers need
+    not unpack the triple themselves."""
+    return convert(run.schedule, run.instance, run.power, epsilon)

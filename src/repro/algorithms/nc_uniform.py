@@ -34,7 +34,8 @@ from ..core.job import Instance
 from ..core.kernels import growth_time_between
 from ..core.power import PowerFunction, PowerLaw
 from ..core.schedule import GrowthSegment, Schedule, ScheduleBuilder
-from .clairvoyant import ClairvoyantPolicy, simulate_clairvoyant
+from ..core.shadow import PrefixWeightOracle, SimulationContext
+from .clairvoyant import ClairvoyantPolicy
 
 __all__ = ["NCUniformRun", "simulate_nc_uniform", "NCUniformPolicy"]
 
@@ -62,8 +63,17 @@ class NCUniformRun:
         return self.schedule.completion_time(job_id, self.instance[job_id].volume)
 
 
-def simulate_nc_uniform(instance: Instance, power: PowerLaw) -> NCUniformRun:
-    """Exact simulation of Algorithm NC on a uniform-density instance."""
+def simulate_nc_uniform(
+    instance: Instance, power: PowerLaw, *, context: SimulationContext | None = None
+) -> NCUniformRun:
+    """Exact simulation of Algorithm NC on a uniform-density instance.
+
+    All per-job speed-rule offsets ``W^C(r[j]-)`` come from **one**
+    incrementally-extended clairvoyant shadow run (jobs are revealed to it in
+    FIFO order, strictly-earlier releases first), not from per-job fresh
+    simulations — the offsets are bit-identical either way, see
+    :class:`~repro.core.shadow.PrefixWeightOracle`.
+    """
     if not isinstance(power, PowerLaw):
         raise TypeError("analytic Algorithm NC requires a PowerLaw; use NCUniformPolicy otherwise")
     if not instance.is_uniform_density():
@@ -75,21 +85,25 @@ def simulate_nc_uniform(instance: Instance, power: PowerLaw) -> NCUniformRun:
     builder = ScheduleBuilder()
     offsets: dict[int, float] = {}
     starts: dict[int, float] = {}
+    if context is None:
+        context = SimulationContext(power)
+    oracle = context.prefix_oracle()
+    jobs = list(instance.jobs)
+    revealed = 0
     t = 0.0
     for job in instance:  # FIFO == release order
         start = max(t, job.release)
         # The speed-rule constant: Algorithm C's remaining weight just before
-        # r[j], simulated on the prefix of already-completed (hence known) jobs.
-        prefix = instance.released_before(job.release, strict=True)
-        if prefix is None:
-            offset = 0.0
-        else:
-            c_run = simulate_clairvoyant(prefix, power, until=job.release)
-            # Read the simulator's live state rather than re-integrating the
-            # schedule: completed jobs are exactly absent, so no 1e-16 residue
-            # survives (residues get amplified by the 1/beta exponent of the
-            # growth curve when alpha is close to 1).
-            offset = sum(prefix[jid].density * v for jid, v in c_run.remaining.items())
+        # r[j], over the prefix of already-completed (hence known) jobs.  The
+        # oracle reads C's live state rather than re-integrating a schedule:
+        # completed jobs are exactly absent, so no 1e-16 residue survives
+        # (residues get amplified by the 1/beta exponent of the growth curve
+        # when alpha is close to 1).
+        while revealed < len(jobs) and jobs[revealed].release < job.release:
+            prev = jobs[revealed]
+            oracle.add_job(prev.job_id, prev.release, prev.density, prev.volume)
+            revealed += 1
+        offset = oracle.weight_at(job.release)
         offsets[job.job_id] = offset
         starts[job.job_id] = start
         # U grows from offset to offset + W[j]; the job completes when all of
@@ -123,6 +137,10 @@ class NCUniformPolicy(SchedulingPolicy):
         self._active: list[int] = []  # FIFO queue
         self._offsets: dict[int, float] = {}
         self._starts: dict[int, float] = {}  # first time each job was driven
+        #: incremental prefix shadow (PowerLaw only); jobs enter it as their
+        #: volumes are revealed by completion.
+        self._prefix_oracle: PrefixWeightOracle | None = None
+        self._in_oracle: set[int] = set()
 
     def on_release(self, t: float, job_id: int, density: float) -> None:
         self._released[job_id] = (t, density)
@@ -163,6 +181,27 @@ class NCUniformPolicy(SchedulingPolicy):
         strictly before ``release``, by FIFO)."""
         from ..core.job import Job
 
+        if isinstance(self.power, PowerLaw):
+            # One incrementally-extended shadow run serves every offset
+            # query; FIFO makes both the queries and the insertions monotone.
+            if self._prefix_oracle is None:
+                context = getattr(self, "context", None)
+                self._prefix_oracle = (
+                    context.prefix_oracle(power=self.power)
+                    if context is not None and context.power is self.power
+                    else PrefixWeightOracle(self.power.alpha)
+                )
+            for jid, (r, rho) in self._released.items():
+                if r < release and jid not in self._in_oracle:
+                    if jid not in self._completed:
+                        raise SimulationError(
+                            f"FIFO invariant broken: job {jid} released before {release} "
+                            "has not completed when its successor starts"
+                        )
+                    self._prefix_oracle.add_job(jid, r, rho, self._completed[jid])
+                    self._in_oracle.add(jid)
+            return self._prefix_oracle.weight_at(release)
+
         prefix_jobs = []
         for jid, (r, rho) in self._released.items():
             if r < release:
@@ -175,9 +214,6 @@ class NCUniformPolicy(SchedulingPolicy):
         if not prefix_jobs:
             return 0.0
         prefix = Instance(prefix_jobs)
-        if isinstance(self.power, PowerLaw):
-            run = simulate_clairvoyant(prefix, self.power, until=release)
-            return run.remaining_weight_at(release)
         engine = NumericEngine(self.power, max_step=self.shadow_max_step)
         result = engine.run(prefix, ClairvoyantPolicy(prefix, self.power))
         total = 0.0

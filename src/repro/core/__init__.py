@@ -25,6 +25,13 @@ from .schedule import (
     ScheduleBuilder,
     Segment,
 )
+from .shadow import (
+    ClairvoyantShadow,
+    PrefixWeightOracle,
+    ShadowCheckpoint,
+    ShadowCounters,
+    SimulationContext,
+)
 
 __all__ = [
     "ReproError",
@@ -56,4 +63,9 @@ __all__ = [
     "SchedulingPolicy",
     "NumericEngine",
     "EngineResult",
+    "SimulationContext",
+    "ClairvoyantShadow",
+    "PrefixWeightOracle",
+    "ShadowCheckpoint",
+    "ShadowCounters",
 ]

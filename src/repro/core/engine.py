@@ -27,11 +27,12 @@ from .job import Instance
 from .oracle import VolumeOracle
 from .power import PowerFunction
 from .schedule import ConstantSegment, Schedule, ScheduleBuilder
+from .shadow import SimulationContext
 
 __all__ = ["SchedulingPolicy", "EngineResult", "NumericEngine"]
 
-#: Engine gives up if the machine makes no progress for this much simulated
-#: time while jobs are active (a policy running at speed 0 forever).
+#: Default bound on steps without progress while jobs are active (a policy
+#: running at speed 0 forever); override per engine via ``stall_limit``.
 _STALL_LIMIT_STEPS = 200_000
 
 
@@ -40,6 +41,8 @@ class SchedulingPolicy(ABC):
 
     The engine guarantees:
 
+    * ``bind`` is called once per run, before any other callback, with the
+      run's shared :class:`~repro.core.shadow.SimulationContext`;
     * ``on_release`` is called in (release, job_id) order, before any query at
       or after that time;
     * ``on_completion`` is called the moment a job's processed volume reaches
@@ -48,6 +51,14 @@ class SchedulingPolicy(ABC):
     * ``select_job`` / ``speed`` are called with monotonically non-decreasing
       times and reflect the policy's current view.
     """
+
+    def bind(self, context: SimulationContext) -> None:
+        """Attach the run's shared context (shadow factories + counters).
+
+        The default just stores it; policies that keep shadow oracles route
+        them through the context so their activity shows up in the run's
+        counters."""
+        self.context = context
 
     @abstractmethod
     def on_release(self, t: float, job_id: int, density: float) -> None: ...
@@ -69,6 +80,9 @@ class EngineResult:
     schedule: Schedule
     oracle: VolumeOracle
     steps: int
+    #: the run's shared context; ``context.counters`` holds the step and
+    #: shadow-traffic counters for observability.
+    context: SimulationContext | None = None
 
 
 class NumericEngine:
@@ -88,18 +102,31 @@ class NumericEngine:
     """
 
     def __init__(
-        self, power: PowerFunction, max_step: float = 1e-2, min_step: float = 1e-14
+        self,
+        power: PowerFunction,
+        max_step: float = 1e-2,
+        min_step: float = 1e-14,
+        *,
+        stall_limit: int = _STALL_LIMIT_STEPS,
+        context: SimulationContext | None = None,
     ) -> None:
         if max_step <= 0:
             raise ValueError(f"max_step must be positive, got {max_step}")
         if not 0 < min_step <= max_step:
             raise ValueError(f"need 0 < min_step <= max_step, got {min_step}")
+        if stall_limit < 1:
+            raise ValueError(f"stall_limit must be >= 1, got {stall_limit}")
         self.power = power
         self.max_step = max_step
         self.min_step = min_step
+        self.stall_limit = stall_limit
+        self._context = context
 
     def run(self, instance: Instance, policy: SchedulingPolicy) -> EngineResult:
+        context = self._context if self._context is not None else SimulationContext(self.power)
         oracle = VolumeOracle(instance)
+        context.oracle = oracle
+        policy.bind(context)
         releases = list(oracle.releases())  # FIFO order
         next_release = 0
         processed: dict[int, float] = {}
@@ -123,7 +150,7 @@ class NumericEngine:
         fire_releases(t)
         while active or next_release < len(releases):
             steps += 1
-            if steps > _STALL_LIMIT_STEPS + len(releases):
+            if steps > self.stall_limit + len(releases):
                 raise SimulationError(
                     f"engine exceeded {steps} steps at t={t}; "
                     "policy likely stalled at zero speed"
@@ -180,7 +207,7 @@ class NumericEngine:
                 s_mid = s0
             if s_mid <= 0:
                 stall += 1
-                if stall > _STALL_LIMIT_STEPS:
+                if stall > self.stall_limit:
                     raise SimulationError(f"policy stalled at zero speed near t={t}")
                 builder.append(ConstantSegment(t, t + h, None, 0.0))
                 t += h
@@ -205,4 +232,7 @@ class NumericEngine:
                 t += h
             fire_releases(t)
 
-        return EngineResult(schedule=builder.build(), oracle=oracle, steps=steps)
+        context.counters.engine_steps += steps
+        return EngineResult(
+            schedule=builder.build(), oracle=oracle, steps=steps, context=context
+        )

@@ -1,0 +1,637 @@
+"""Incremental clairvoyant shadow oracle and the shared simulation context.
+
+Both non-clairvoyant algorithms of the paper are defined *relative to*
+Algorithm C: NC-uniform's speed offset is ``W^C(r[j]-)`` (§3) and NC-general's
+speed is ``eta * s^C_{I(t)}(t) + epsilon`` where ``I(t)`` is the evolving
+instance of processed amounts (§4).  Re-simulating C from scratch for every
+query makes NC-general quadratic-or-worse in events.  This module maintains
+Algorithm C's *live* state — the remaining volumes of its active set — and
+advances it event-by-event with the closed-form decay kernel, so a query at
+time ``t`` costs only the events between the previous query and ``t``:
+
+* :class:`ClairvoyantShadow` — C's live remaining-weight state with
+  ``advance(t)``, ``insert_job()`` / ``grow_weight()`` deltas and
+  ``checkpoint()`` / ``rollback()`` for the speculative re-runs NC-general
+  needs (its current job's weight in ``I(t)`` changes at every engine step).
+* :class:`PrefixWeightOracle` — the ``W^C(r[j]-)`` prefix-offset pattern:
+  one incrementally-extended C run answering a monotone stream of
+  weight-at-time queries (with an automatic from-scratch rebuild when a
+  query or insertion goes backwards in time).
+* :class:`SimulationContext` — the shared boundary object the engine hands
+  to policies via ``bind``; owns the :class:`ShadowCounters` so shadow
+  activity is observable per run.
+
+Exactness contract: the event loop below mirrors
+``repro.algorithms.clairvoyant.simulate_clairvoyant`` (and its capped
+variant in ``repro.extensions.bounded_speed``) operation for operation —
+same admission tolerances, same HDF tie-breaking, same kernel-call argument
+order, same drop-only-exact-zero rule — so a staged sequence of ``advance``
+calls is bit-identical to one fresh run to the same horizon.  The only
+latitude taken is *laziness*: a partial decay piece cut by a query horizon is
+kept as an anchor ``(piece start, committed state)`` and re-derived on the
+next ``advance`` instead of being split at the horizon, which is what makes
+many small advances as cheap as one big one.  The piece is committed
+("materialized") exactly where the legacy simulator would split it: at a
+release event, or on :meth:`ClairvoyantShadow.materialize` /
+:meth:`ClairvoyantShadow.checkpoint`.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_right
+from dataclasses import dataclass, field, fields
+from typing import Callable
+
+from .errors import SimulationError
+from .kernels import decay_time_between, decay_weight_after
+
+__all__ = [
+    "ShadowCounters",
+    "ShadowCheckpoint",
+    "ClairvoyantShadow",
+    "PrefixWeightOracle",
+    "SimulationContext",
+]
+
+#: Same relative tie tolerance as the analytic simulators.  Relative, not
+#: absolute: shadow runs legitimately operate at picosecond scales.
+_TIE_TOL = 1e-12
+
+
+@dataclass
+class ShadowCounters:
+    """Observability counters shared by the engine and its shadow oracles.
+
+    ``engine_steps`` counts integrator steps; the rest count shadow-oracle
+    traffic.  ``events`` is the number of committed scheduler events inside
+    shadow runs — the true cost of the incremental scheme — while ``queries``
+    is how often a remaining-weight value was read.  ``rebuilds`` counts
+    from-scratch reconstructions (epoch changes in NC-general, time
+    regressions in prefix oracles); a rebuild-heavy run has lost the
+    amortization the layer exists for.
+    """
+
+    engine_steps: int = 0
+    queries: int = 0
+    advances: int = 0
+    events: int = 0
+    inserts: int = 0
+    checkpoints: int = 0
+    rollbacks: int = 0
+    rebuilds: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+@dataclass(frozen=True)
+class ShadowCheckpoint:
+    """Opaque snapshot of a :class:`ClairvoyantShadow` (fully materialized)."""
+
+    clock: float
+    remaining: tuple[tuple[int, float], ...]
+    pending: tuple[tuple[float, int, float, float], ...]
+
+
+class ClairvoyantShadow:
+    """Algorithm C's live state, advanced incrementally.
+
+    ``s_max=None`` gives the pure power-law dynamics; a finite ``s_max``
+    reproduces the bounded-speed variant (saturated linear phase above
+    ``P(s_max)``, decay below).  ``record`` — if given — is called as
+    ``record(kind, t0, t1, job_id, value)`` for every committed piece with
+    ``kind`` in ``{"decay", "const"}`` and ``value`` the piece's starting
+    total weight (decay) or the cap speed (const); the analytic simulators
+    use it to build their schedules.
+    """
+
+    __slots__ = (
+        "alpha",
+        "s_max",
+        "clock",
+        "counters",
+        "_w_sat",
+        "_record",
+        "_t_loop",
+        "_remaining",
+        "_pending",
+        "_next",
+        "_rho",
+        "_rel",
+        "_key",
+        "_piece",
+    )
+
+    def __init__(
+        self,
+        alpha: float,
+        *,
+        s_max: float | None = None,
+        counters: ShadowCounters | None = None,
+        record: Callable[[str, float, float, int, float], None] | None = None,
+    ) -> None:
+        if not alpha > 1:
+            raise ValueError(f"alpha must exceed 1, got {alpha}")
+        if s_max is not None and not (s_max > 0 and math.isfinite(s_max)):
+            raise ValueError(f"s_max must be finite > 0, got {s_max}")
+        self.alpha = float(alpha)
+        self.s_max = None if s_max is None else float(s_max)
+        self._w_sat = math.inf if s_max is None else self.s_max**self.alpha
+        self.counters = counters if counters is not None else ShadowCounters()
+        self._record = record
+        #: time of the last *committed* event; the anchored partial piece (if
+        #: any) spans (_t_loop, clock].
+        self._t_loop = 0.0
+        self.clock = 0.0
+        #: admitted, uncompleted jobs: id -> remaining volume, in admission
+        #: order (== the legacy simulator's dict order).
+        self._remaining: dict[int, float] = {}
+        #: not-yet-admitted jobs as (release, id, density, volume), sorted;
+        #: consumed by index so checkpoints can snapshot the tail cheaply.
+        self._pending: list[tuple[float, int, float, float]] = []
+        self._next = 0
+        #: per-job metadata (survives completion; needed for HDF keys).
+        self._rho: dict[int, float] = {}
+        self._rel: dict[int, float] = {}
+        #: precomputed HDF sort key per job (-density, release, id).
+        self._key: dict[int, tuple[float, float, int]] = {}
+        #: cache of the anchored piece, ``(current job, its density, total
+        #: weight at _t_loop)``, filled at the lazy horizon cut so reads and
+        #: materialization need not re-derive it.  None when state is
+        #: materialized or the cache was invalidated.
+        self._piece: tuple[int, float, float] | None = None
+
+    # -- deltas ---------------------------------------------------------------
+
+    def insert_job(self, job_id: int, release: float, density: float, volume: float) -> None:
+        """Reveal a job to the shadow.
+
+        ``release`` may lie at or before the current clock (but not before the
+        last committed event minus the tie tolerance): the shadow then
+        re-derives the anchored piece with the proper split at ``release``,
+        exactly as a fresh run seeing the job would have.
+        """
+        if volume <= 0:
+            raise ValueError(f"job {job_id}: volume must be > 0, got {volume}")
+        if density <= 0:
+            raise ValueError(f"job {job_id}: density must be > 0, got {density}")
+        if release < self._t_loop * (1.0 - _TIE_TOL) - 1e-300:
+            raise SimulationError(
+                f"job {job_id} released at {release}, before the shadow's "
+                f"committed past (t={self._t_loop}); rollback first"
+            )
+        if job_id in self._remaining or any(
+            e[1] == job_id for e in self._pending[self._next :]
+        ):
+            raise SimulationError(f"job {job_id} already known to the shadow")
+        self._rho[job_id] = density
+        self._rel[job_id] = release
+        self._key[job_id] = (-density, release, job_id)
+        entry = (release, job_id, density, volume)
+        i = bisect_right(self._pending, entry, lo=self._next)
+        self._pending.insert(i, entry)
+        self.counters.inserts += 1
+        if release <= self.clock * (1.0 + _TIE_TOL):
+            # Catch the state up: the loop splits the anchored piece at the
+            # new release and admits the job, mirroring a fresh run.
+            self._run_loop(self.clock)
+
+    def grow_weight(self, job_id: int, delta_volume: float) -> None:
+        """Grow a *pending* (not yet admitted) job's volume by ``delta_volume``.
+
+        Once a job has been admitted its past processing depends on its
+        volume, so growing it would rewrite history — rollback to a
+        checkpoint before its admission instead.
+        """
+        if delta_volume < 0:
+            raise ValueError(f"delta_volume must be >= 0, got {delta_volume}")
+        for i in range(self._next, len(self._pending)):
+            rel, jid, rho, vol = self._pending[i]
+            if jid == job_id:
+                self._pending[i] = (rel, jid, rho, vol + delta_volume)
+                return
+        if job_id in self._remaining:
+            raise SimulationError(
+                f"job {job_id} is already admitted; its weight can no longer "
+                "grow in place — rollback to before its admission"
+            )
+        raise SimulationError(f"job {job_id} is not known to the shadow")
+
+    # -- time -----------------------------------------------------------------
+
+    def advance(self, horizon: float) -> None:
+        """Advance Algorithm C's state to ``horizon`` (monotone; may be inf)."""
+        if horizon <= self.clock:
+            return
+        self._run_loop(horizon)
+
+    def _admit(self, now: float) -> None:
+        pending = self._pending
+        while self._next < len(pending) and pending[self._next][0] <= now * (1.0 + _TIE_TOL):
+            _, jid, _, vol = pending[self._next]
+            self._remaining[jid] = vol
+            self._next += 1
+
+    def _run_loop(self, horizon: float) -> None:
+        """The legacy event loop, verbatim, with lazy horizon cuts."""
+        rem = self._remaining
+        rho_of = self._rho
+        key_of = self._key
+        alpha = self.alpha
+        s_max = self.s_max
+        w_sat = self._w_sat
+        record = self._record
+        counters = self.counters
+        dtb = decay_time_between
+        dwa = decay_weight_after
+        pending = self._pending
+        n_pending = len(pending)
+        nxt = self._next
+        counters.advances += 1
+        self._piece = None
+        t = self._t_loop
+        if t >= self.clock:
+            # Not anchored inside a piece: mirror the legacy entry admission.
+            bound = t * (1.0 + _TIE_TOL)
+            while nxt < n_pending and pending[nxt][0] <= bound:
+                rem[pending[nxt][1]] = pending[nxt][3]
+                nxt += 1
+        while t < horizon and (rem or nxt < n_pending):
+            if not rem:
+                t = min(pending[nxt][0], horizon)
+                bound = t * (1.0 + _TIE_TOL)
+                while nxt < n_pending and pending[nxt][0] <= bound:
+                    rem[pending[nxt][1]] = pending[nxt][3]
+                    nxt += 1
+                continue
+            cur = min(rem, key=key_of.__getitem__)
+            rho = rho_of[cur]
+            w_total = sum(rho_of[j] * v for j, v in rem.items())
+            if w_total <= 0:
+                raise SimulationError("active set with zero weight")
+            t_next = pending[nxt][0] if nxt < n_pending else math.inf
+            if s_max is not None and rho * rem[cur] <= 1e-15 * w_total:
+                # Underflow against the total: in the saturated branch the
+                # processing time would round to zero.  Finish instantly.
+                del rem[cur]
+                counters.events += 1
+                continue
+            w_end = w_total - rho * rem[cur]
+
+            if w_total > w_sat * (1.0 + _TIE_TOL):
+                # Saturated phase: constant speed s_max, weight falls linearly.
+                target = max(w_sat, w_end)
+                tau_phase = (w_total - target) / (rho * s_max)
+                t_stop = min(t + tau_phase, t_next, horizon)
+                if t_stop <= t:
+                    # tau_phase underflows against t: no representable time
+                    # can make progress (the legacy loop spins forever here).
+                    # Apply the sliver instantly and move on.
+                    rem[cur] = max(rem[cur] - (w_total - target) / rho, 0.0)
+                    if rem[cur] <= 0.0:
+                        del rem[cur]
+                    counters.events += 1
+                    continue
+                if (
+                    t_stop >= horizon
+                    and t_stop < t + tau_phase
+                    and not t_next <= horizon * (1.0 + _TIE_TOL)
+                ):
+                    self._t_loop = t
+                    self.clock = horizon
+                    self._next = nxt
+                    self._piece = (cur, rho, w_total)
+                    return
+                tau = t_stop - t
+                if tau > 0:
+                    if record is not None:
+                        record("const", t, t_stop, cur, s_max)
+                    dv = s_max * tau
+                    rem[cur] = max(rem[cur] - dv, 0.0)
+                    if rem[cur] <= 0.0:
+                        del rem[cur]
+                    counters.events += 1
+                t = t_stop
+                bound = t * (1.0 + _TIE_TOL)
+                while nxt < n_pending and pending[nxt][0] <= bound:
+                    rem[pending[nxt][1]] = pending[nxt][3]
+                    nxt += 1
+                continue
+
+            tau_complete = dtb(w_total, max(w_end, 0.0), rho, alpha)
+            t_stop = min(t + tau_complete, t_next, horizon)
+            if t_stop >= t + tau_complete * (1.0 - _TIE_TOL):
+                # The current job completes first.
+                if record is not None:
+                    record("decay", t, t + tau_complete, cur, w_total)
+                t = t + tau_complete
+                del rem[cur]
+                counters.events += 1
+            else:
+                if t_stop >= horizon and not t_next <= horizon * (1.0 + _TIE_TOL):
+                    # Cut only by the query horizon with no admission due:
+                    # keep the piece anchored instead of splitting it here.
+                    self._t_loop = t
+                    self.clock = horizon
+                    self._next = nxt
+                    self._piece = (cur, rho, w_total)
+                    return
+                tau = t_stop - t
+                if tau > 0:
+                    w_after = dwa(w_total, rho, tau, alpha)
+                    dv = (w_total - w_after) / rho
+                    if record is not None:
+                        record("decay", t, t_stop, cur, w_total)
+                    rem[cur] = max(rem[cur] - dv, 0.0)
+                    # Only drop exact zeros — a 1e-15 remainder is usually the
+                    # analytically correct value (see simulate_clairvoyant).
+                    if rem[cur] <= 0.0:
+                        del rem[cur]
+                    counters.events += 1
+                t = t_stop
+            bound = t * (1.0 + _TIE_TOL)
+            while nxt < n_pending and pending[nxt][0] <= bound:
+                rem[pending[nxt][1]] = pending[nxt][3]
+                nxt += 1
+        self._t_loop = t
+        self._next = nxt
+        # Natural exit: work exhausted before the horizon leaves the clock at
+        # the last event, like the legacy run; an event landing at or past
+        # the horizon (completion overshoot within the tie tolerance) also
+        # reports that time.
+        self.clock = t
+
+    def materialize(self) -> None:
+        """Commit the anchored partial piece (if any) at the current clock.
+
+        After this the state equals what a fresh legacy run to ``clock``
+        reports, including the split of the in-progress piece at ``clock``.
+        """
+        rem = self._remaining
+        if self.clock <= self._t_loop or not rem:
+            self._t_loop = max(self._t_loop, self.clock)
+            return
+        rho_of = self._rho
+        key_of = self._key
+        if self._piece is not None:
+            cur, rho, w_total = self._piece
+        else:
+            cur = min(rem, key=key_of.__getitem__)
+            rho = rho_of[cur]
+            w_total = sum(rho_of[j] * v for j, v in rem.items())
+        tau = self.clock - self._t_loop
+        if self.s_max is not None and w_total > self._w_sat * (1.0 + _TIE_TOL):
+            if self._record is not None:
+                self._record("const", self._t_loop, self.clock, cur, self.s_max)
+            dv = self.s_max * tau
+        else:
+            w_after = decay_weight_after(w_total, rho, tau, self.alpha)
+            dv = (w_total - w_after) / rho
+            if self._record is not None:
+                self._record("decay", self._t_loop, self.clock, cur, w_total)
+        rem[cur] = max(rem[cur] - dv, 0.0)
+        if rem[cur] <= 0.0:
+            del rem[cur]
+        self.counters.events += 1
+        self._t_loop = self.clock
+        self._piece = None
+        self._admit(self.clock)
+
+    # -- reads (non-destructive) ----------------------------------------------
+
+    def _peek_current(self) -> tuple[int, float] | None:
+        """The in-progress job and its would-be remaining volume at ``clock``,
+        without committing the anchored piece."""
+        rem = self._remaining
+        if self.clock <= self._t_loop or not rem:
+            return None
+        rho_of = self._rho
+        key_of = self._key
+        if self._piece is not None:
+            cur, rho, w_total = self._piece
+        else:
+            cur = min(rem, key=key_of.__getitem__)
+            rho = rho_of[cur]
+            w_total = sum(rho_of[j] * v for j, v in rem.items())
+        tau = self.clock - self._t_loop
+        if self.s_max is not None and w_total > self._w_sat * (1.0 + _TIE_TOL):
+            dv = self.s_max * tau
+        else:
+            w_after = decay_weight_after(w_total, rho, tau, self.alpha)
+            dv = (w_total - w_after) / rho
+        return cur, max(rem[cur] - dv, 0.0)
+
+    def remaining_weight(self) -> float:
+        """``W^C(clock)`` — total remaining fractional weight, live state."""
+        self.counters.queries += 1
+        rho_of = self._rho
+        peek = self._peek_current()
+        if peek is None:
+            return sum(rho_of[j] * v for j, v in self._remaining.items())
+        cur, val = peek
+        # Same accumulation order as a sum over the materialized dict; a
+        # completed current job contributes 0.0, exactly as its deleted entry
+        # would be absent from that sum.
+        return sum(
+            rho_of[j] * (val if j == cur else v) for j, v in self._remaining.items()
+        )
+
+    def remaining_items(self) -> list[tuple[int, float, float]]:
+        """Materialized-equivalent ``(job_id, density, remaining volume)`` at
+        ``clock``, in admission order, completed jobs omitted."""
+        self.counters.queries += 1
+        rho_of = self._rho
+        peek = self._peek_current()
+        out = []
+        for j, v in self._remaining.items():
+            if peek is not None and j == peek[0]:
+                v = peek[1]
+                if v <= 0.0:
+                    continue
+            out.append((j, rho_of[j], v))
+        return out
+
+    def remaining_dict(self) -> dict[int, float]:
+        """Copy of the remaining-volume map (call :meth:`materialize` first if
+        an anchored piece should be included)."""
+        return dict(self._remaining)
+
+    # -- checkpoint / rollback ------------------------------------------------
+
+    def checkpoint(self) -> ShadowCheckpoint:
+        """Materialize and snapshot the state for later :meth:`rollback`."""
+        self.materialize()
+        self.counters.checkpoints += 1
+        return ShadowCheckpoint(
+            clock=self.clock,
+            remaining=tuple(self._remaining.items()),
+            pending=tuple(self._pending[self._next :]),
+        )
+
+    def rollback(self, ckpt: ShadowCheckpoint) -> None:
+        """Restore a snapshot taken by :meth:`checkpoint`.
+
+        Jobs inserted after the checkpoint vanish from the active/pending
+        sets (their metadata is kept; re-inserting them is allowed)."""
+        self.counters.rollbacks += 1
+        self.clock = ckpt.clock
+        self._t_loop = ckpt.clock
+        self._remaining = dict(ckpt.remaining)
+        self._pending = list(ckpt.pending)
+        self._next = 0
+        self._piece = None
+
+    def query_with_job(
+        self,
+        base: ShadowCheckpoint,
+        t: float,
+        job_id: int | None,
+        release: float,
+        density: float,
+        volume: float,
+    ) -> float:
+        """Speculative query: remaining weight at ``t`` starting from ``base``
+        with one extra job.
+
+        Equivalent to ``rollback(base)``, ``insert_job(...)``, ``advance(t)``,
+        ``remaining_weight()`` fused into one call — the NC-general inner
+        loop, where every engine step re-asks "what would C's weight be now if
+        the current job's processed amount entered its run at its release".
+        ``job_id=None`` skips the insertion (nothing of the job processed yet).
+        """
+        counters = self.counters
+        counters.rollbacks += 1
+        self.clock = self._t_loop = base.clock
+        rem = self._remaining = dict(base.remaining)
+        pending = self._pending = list(base.pending)
+        self._next = 0
+        self._piece = None
+        if job_id is not None:
+            self._rho[job_id] = density
+            self._rel[job_id] = release
+            self._key[job_id] = (-density, release, job_id)
+            counters.inserts += 1
+            if release <= base.clock * (1.0 + _TIE_TOL):
+                # The base is materialized with no admission due, so the
+                # job joins the active set directly, as _admit would place it.
+                rem[job_id] = volume
+            else:
+                entry = (release, job_id, density, volume)
+                pending.insert(bisect_right(pending, entry), entry)
+        if t > self.clock:
+            self._run_loop(t)
+        return self.remaining_weight()
+
+    # -- warm start (used by the analytic simulators' resume path) ------------
+
+    def load_state(
+        self, clock: float, remaining: list[tuple[int, float, float, float]]
+    ) -> None:
+        """Seed the shadow from an external checkpoint.
+
+        ``remaining`` is ``(job_id, density, release, volume)`` in the order
+        the jobs should occupy the active set.  Must be called before any
+        insert or advance."""
+        if self._rho or self._pending:
+            raise SimulationError("load_state on a non-fresh shadow")
+        self.clock = self._t_loop = float(clock)
+        for jid, rho, rel, vol in remaining:
+            self._rho[jid] = rho
+            self._rel[jid] = rel
+            self._key[jid] = (-rho, rel, jid)
+            self._remaining[jid] = vol
+
+
+class PrefixWeightOracle:
+    """One incrementally-extended Algorithm C run answering ``W^C(t)`` queries.
+
+    This is the paper's ``W^C(r[j]-)`` pattern (§3, §6): the speed-rule
+    offsets of NC-uniform and of the per-machine NC-PAR runs are remaining
+    weights of C simulated over an ever-growing prefix of completed jobs.
+    Queries and insertions are expected mostly in nondecreasing time order —
+    then each query costs only the events since the previous one.  A query or
+    insertion that goes backwards in time triggers a from-scratch rebuild
+    (counted in :attr:`ShadowCounters.rebuilds`), which reproduces exactly
+    what a fresh legacy simulation would report.
+    """
+
+    def __init__(
+        self,
+        alpha: float,
+        *,
+        s_max: float | None = None,
+        counters: ShadowCounters | None = None,
+    ) -> None:
+        self.alpha = alpha
+        self.s_max = s_max
+        self.counters = counters if counters is not None else ShadowCounters()
+        self._jobs: list[tuple[float, int, float, float]] = []  # (release, id, rho, vol)
+        self._shadow = ClairvoyantShadow(alpha, s_max=s_max, counters=self.counters)
+        self._dirty = False
+
+    def add_job(self, job_id: int, release: float, density: float, volume: float) -> None:
+        self._jobs.append((release, job_id, density, volume))
+        if self._dirty:
+            return
+        if release < self._shadow._t_loop * (1.0 - _TIE_TOL) - 1e-300:
+            self._dirty = True
+        else:
+            self._shadow.insert_job(job_id, release, density, volume)
+
+    def _settle(self, t: float) -> ClairvoyantShadow:
+        if self._dirty or t < self._shadow.clock:
+            self.counters.rebuilds += 1
+            self._shadow = ClairvoyantShadow(
+                self.alpha, s_max=self.s_max, counters=self.counters
+            )
+            for release, jid, rho, vol in sorted(self._jobs):
+                self._shadow.insert_job(jid, release, rho, vol)
+            self._dirty = False
+        self._shadow.advance(t)
+        return self._shadow
+
+    def weight_at(self, t: float) -> float:
+        """``W^C(t)`` over the jobs added so far (left limit at releases ==
+        ``t``: a job released exactly at ``t`` counts at full weight)."""
+        return self._settle(t).remaining_weight()
+
+    def remaining_items_at(self, t: float) -> list[tuple[int, float, float]]:
+        """``(job_id, density, remaining volume)`` of C's live state at ``t``."""
+        return self._settle(t).remaining_items()
+
+
+class SimulationContext:
+    """Shared boundary object between the engine and scheduling algorithms.
+
+    Owns the power function, the per-run :class:`ShadowCounters` and (once a
+    run starts) the :class:`~repro.core.oracle.VolumeOracle`.  Policies
+    receive it via ``SchedulingPolicy.bind`` and obtain their shadow oracles
+    from the factories below so all shadow traffic lands in one counter set.
+    """
+
+    def __init__(self, power, *, counters: ShadowCounters | None = None) -> None:
+        self.power = power
+        self.counters = counters if counters is not None else ShadowCounters()
+        self.oracle = None  # set by the engine at run start
+
+    def _shadow_params(self, power=None) -> tuple[float, float | None]:
+        power = self.power if power is None else power
+        alpha = getattr(power, "alpha", None)
+        if alpha is None:
+            raise TypeError(
+                f"analytic shadow oracles require a PowerLaw, got {power!r}"
+            )
+        return alpha, getattr(power, "s_max", None)
+
+    def shadow(self, *, power=None, record=None) -> ClairvoyantShadow:
+        """A fresh :class:`ClairvoyantShadow` wired to this context's counters."""
+        alpha, s_max = self._shadow_params(power)
+        return ClairvoyantShadow(
+            alpha, s_max=s_max, counters=self.counters, record=record
+        )
+
+    def prefix_oracle(self, *, power=None) -> PrefixWeightOracle:
+        """A fresh :class:`PrefixWeightOracle` wired to this context's counters."""
+        alpha, s_max = self._shadow_params(power)
+        return PrefixWeightOracle(alpha, s_max=s_max, counters=self.counters)

@@ -27,12 +27,12 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-from ..algorithms.clairvoyant import hdf_key
 from ..core.errors import InvalidInstanceError, InvalidPowerFunctionError, SimulationError
 from ..core.job import Instance
-from ..core.kernels import decay_time_between, decay_weight_after, growth_time_between
+from ..core.kernels import growth_time_between
 from ..core.power import PowerLaw
 from ..core.schedule import ConstantSegment, DecaySegment, GrowthSegment, Schedule, ScheduleBuilder
+from ..core.shadow import ClairvoyantShadow, SimulationContext
 
 __all__ = [
     "CappedPowerLaw",
@@ -40,9 +40,6 @@ __all__ = [
     "simulate_clairvoyant_capped",
     "simulate_nc_uniform_capped",
 ]
-
-_TIE_TOL = 1e-12
-
 
 class CappedPowerLaw(PowerLaw):
     """``P(s) = s**alpha`` with a hard maximum speed.
@@ -110,94 +107,62 @@ class CappedRun:
 
 
 def simulate_clairvoyant_capped(
-    instance: Instance, power: CappedPowerLaw, *, until: float | None = None
+    instance: Instance,
+    power: CappedPowerLaw,
+    *,
+    until: float | None = None,
+    context: SimulationContext | None = None,
 ) -> CappedRun:
-    """Algorithm C with speed clipped at ``s_max`` (exact, event-driven)."""
+    """Algorithm C with speed clipped at ``s_max`` (exact, event-driven).
+
+    Drives the same :class:`~repro.core.shadow.ClairvoyantShadow` event loop
+    as the uncapped simulator, with ``s_max`` enabling the saturated linear
+    phase; the shadow's ``record`` callback reconstructs the schedule
+    (``const`` pieces at the cap, ``decay`` pieces below it).
+    """
     if not isinstance(power, CappedPowerLaw):
         raise TypeError("use simulate_clairvoyant for uncapped power laws")
     alpha = power.alpha
-    w_sat = power.saturation_weight
     horizon = math.inf if until is None else float(until)
-
-    releases = list(instance.jobs)
-    next_rel = 0
-    remaining: dict[int, float] = {}
     builder = ScheduleBuilder()
-    t = 0.0
 
-    def admit(now: float) -> None:
-        nonlocal next_rel
-        while next_rel < len(releases) and releases[next_rel].release <= now * (1 + _TIE_TOL):
-            remaining[releases[next_rel].job_id] = releases[next_rel].volume
-            next_rel += 1
-
-    admit(t)
-    while t < horizon and (remaining or next_rel < len(releases)):
-        if not remaining:
-            t = min(releases[next_rel].release, horizon)
-            admit(t)
-            continue
-        current = min((instance[j] for j in remaining), key=hdf_key)
-        rho = current.density
-        w_total = sum(instance[j].density * v for j, v in remaining.items())
-        if rho * remaining[current.job_id] <= 1e-15 * w_total:
-            # The job's weight share underflows against the total: in the
-            # saturated branch its processing time would round to zero and
-            # the loop would never advance.  Finish it instantly.
-            del remaining[current.job_id]
-            continue
-        w_end_job = w_total - rho * remaining[current.job_id]
-        t_next_event = releases[next_rel].release if next_rel < len(releases) else math.inf
-
-        if w_total > w_sat * (1 + _TIE_TOL):
-            # Saturated phase: constant speed s_max, weight falls linearly.
-            target = max(w_sat, w_end_job)
-            tau_phase = (w_total - target) / (rho * power.s_max)
-            t_stop = min(t + tau_phase, t_next_event, horizon)
-            tau = t_stop - t
-            if tau > 0:
-                builder.append(ConstantSegment(t, t_stop, current.job_id, power.s_max))
-                dv = power.s_max * tau
-                remaining[current.job_id] = max(remaining[current.job_id] - dv, 0.0)
-                if remaining[current.job_id] <= 0.0:
-                    del remaining[current.job_id]
-            t = t_stop
-            admit(t)
-            continue
-
-        # Unsaturated phase: the ordinary decay dynamics.
-        tau_complete = decay_time_between(w_total, max(w_end_job, 0.0), rho, alpha)
-        t_stop = min(t + tau_complete, t_next_event, horizon)
-        if t_stop >= t + tau_complete * (1.0 - _TIE_TOL):
-            builder.append(
-                DecaySegment(t, t + tau_complete, current.job_id, w_total, rho, alpha)
-            )
-            t = t + tau_complete
-            del remaining[current.job_id]
+    def record(kind: str, t0: float, t1: float, jid: int, value: float) -> None:
+        if kind == "const":
+            builder.append(ConstantSegment(t0, t1, jid, value))
         else:
-            tau = t_stop - t
-            if tau > 0:
-                w_after = decay_weight_after(w_total, rho, tau, alpha)
-                dv = (w_total - w_after) / rho
-                builder.append(DecaySegment(t, t_stop, current.job_id, w_total, rho, alpha))
-                remaining[current.job_id] = max(remaining[current.job_id] - dv, 0.0)
-                if remaining[current.job_id] <= 0.0:
-                    del remaining[current.job_id]
-            t = t_stop
-        admit(t)
+            builder.append(DecaySegment(t0, t1, jid, value, instance[jid].density, alpha))
 
+    shadow = ClairvoyantShadow(
+        alpha,
+        s_max=power.s_max,
+        record=record,
+        counters=context.counters if context is not None else None,
+    )
+    for job in instance.jobs:
+        shadow.insert_job(job.job_id, job.release, job.density, job.volume)
+    shadow.advance(horizon)
+    shadow.materialize()
     return CappedRun(
-        instance=instance, power=power, schedule=builder.build(), clock=t, remaining=dict(remaining)
+        instance=instance,
+        power=power,
+        schedule=builder.build(),
+        clock=shadow.clock,
+        remaining=shadow.remaining_dict(),
     )
 
 
-def simulate_nc_uniform_capped(instance: Instance, power: CappedPowerLaw) -> CappedRun:
+def simulate_nc_uniform_capped(
+    instance: Instance,
+    power: CappedPowerLaw,
+    *,
+    context: SimulationContext | None = None,
+) -> CappedRun:
     """Algorithm NC (uniform densities) with speed clipped at ``s_max``.
 
     While processing job ``j`` the driver ``U = W^C(r[j]-) + W̆[j]`` grows;
     once ``U`` exceeds ``P(s_max)`` the machine saturates and ``U`` grows
-    *linearly* to the job's end.  ``W^C(r[j]-)`` is read from a capped
-    clairvoyant prefix run so the shadow matches the hardware.
+    *linearly* to the job's end.  ``W^C(r[j]-)`` is read from one capped
+    incremental clairvoyant prefix run so the shadow matches the hardware.
     """
     if not isinstance(power, CappedPowerLaw):
         raise TypeError("use simulate_nc_uniform for uncapped power laws")
@@ -205,17 +170,21 @@ def simulate_nc_uniform_capped(instance: Instance, power: CappedPowerLaw) -> Cap
         raise InvalidInstanceError("the §3 algorithm requires uniform densities")
     alpha = power.alpha
     u_sat = power.saturation_weight
+    if context is None:
+        context = SimulationContext(power)
+    oracle = context.prefix_oracle()
+    jobs = list(instance.jobs)
+    revealed = 0
     builder = ScheduleBuilder()
     t = 0.0
     for job in instance:  # FIFO
         start = max(t, job.release)
         rho = job.density
-        prefix = instance.released_before(job.release, strict=True)
-        if prefix is None:
-            offset = 0.0
-        else:
-            shadow = simulate_clairvoyant_capped(prefix, power, until=job.release)
-            offset = sum(prefix[k].density * v for k, v in shadow.remaining.items())
+        while revealed < len(jobs) and jobs[revealed].release < job.release:
+            prev = jobs[revealed]
+            oracle.add_job(prev.job_id, prev.release, prev.density, prev.volume)
+            revealed += 1
+        offset = oracle.weight_at(job.release) if revealed else 0.0
 
         u_end = offset + job.weight
         cursor = start

@@ -25,23 +25,35 @@ from ..core.job import Instance
 from ..core.kernels import growth_time_between
 from ..core.power import PowerLaw
 from ..core.schedule import GrowthSegment, ScheduleBuilder
-from ..algorithms.clairvoyant import simulate_clairvoyant
+from ..core.shadow import SimulationContext
 from .cluster import ClusterRun
 
 __all__ = ["simulate_nc_par"]
 
 
-def simulate_nc_par(instance: Instance, power: PowerLaw, machines: int) -> ClusterRun:
+def simulate_nc_par(
+    instance: Instance,
+    power: PowerLaw,
+    machines: int,
+    *,
+    context: SimulationContext | None = None,
+) -> ClusterRun:
     """Run NC-PAR exactly (closed-form per-job growth segments)."""
     if machines < 1:
         raise InvalidInstanceError(f"machines must be >= 1, got {machines}")
     if not instance.is_uniform_density():
         raise InvalidInstanceError("NC-PAR (§6) is defined for uniform densities")
     alpha = power.alpha
+    if context is None:
+        context = SimulationContext(power)
 
     free = [0.0] * machines  # time each machine completes its assigned work
     assignments: dict[int, list[int]] = {i: [] for i in range(machines)}
     builders = {i: ScheduleBuilder() for i in range(machines)}
+    # One incremental shadow run of Algorithm C per machine: the global queue
+    # is FIFO, so each machine's offset queries arrive in nondecreasing time
+    # and the oracle never has to rebuild.
+    oracles = [context.prefix_oracle() for _ in range(machines)]
 
     for job in instance:  # global FIFO queue == release order
         # Pick the machine that is (or first becomes) available.  Among
@@ -54,20 +66,14 @@ def simulate_nc_par(instance: Instance, power: PowerLaw, machines: int) -> Clust
         # Speed-rule offset: Algorithm C's remaining weight just before r[j]
         # on the machine-local instance of previously assigned (completed,
         # hence known) jobs.
-        prev = assignments[chosen]
-        if prev:
-            sub = instance.subset(prev)
-            assert sub is not None
-            shadow = simulate_clairvoyant(sub, power, until=job.release)
-            offset = sum(sub[jid].density * v for jid, v in shadow.remaining.items())
-        else:
-            offset = 0.0
+        offset = oracles[chosen].weight_at(job.release) if assignments[chosen] else 0.0
 
         tau = growth_time_between(offset, offset + job.weight, job.density, alpha)
         builders[chosen].append(
             GrowthSegment(start, start + tau, job.job_id, offset, job.density, alpha)
         )
         assignments[chosen].append(job.job_id)
+        oracles[chosen].add_job(job.job_id, job.release, job.density, job.volume)
         free[chosen] = start + tau
 
     schedules = {i: builders[i].build() for i in range(machines) if assignments[i]}

@@ -38,23 +38,36 @@ from ..core.job import Instance
 from ..core.kernels import growth_time_between
 from ..core.power import PowerLaw
 from ..core.schedule import GrowthSegment, ScheduleBuilder
+from ..core.shadow import SimulationContext
 from .cluster import ClusterRun
 
 __all__ = ["simulate_nc_hdf_par", "simulate_c_hdf_par"]
 
 
 def simulate_nc_hdf_par(
-    instance: Instance, power: PowerLaw, machines: int, *, beta: float = 5.0
+    instance: Instance,
+    power: PowerLaw,
+    machines: int,
+    *,
+    beta: float = 5.0,
+    context: SimulationContext | None = None,
 ) -> ClusterRun:
     """The §7 non-clairvoyant candidate NC-HDF-PAR (event-driven, exact)."""
     if machines < 1:
         raise InvalidInstanceError(f"machines must be >= 1, got {machines}")
     alpha = power.alpha
     rounded = {j.job_id: round_density_down(j.density, beta) for j in instance}
+    if context is None:
+        context = SimulationContext(power)
 
     free = [0.0] * machines
     assignments: dict[int, list[int]] = {i: [] for i in range(machines)}
     builders = {i: ScheduleBuilder() for i in range(machines)}
+    # Per-machine shadow runs of Algorithm C.  Unlike NC-PAR the HDF queue is
+    # *not* FIFO, so a machine's offset queries can regress in time; the
+    # oracle then rebuilds from scratch (counted in ``counters.rebuilds``),
+    # which is exactly the legacy per-query fresh simulation.
+    oracles = [context.prefix_oracle() for _ in range(machines)]
     waiting: list[int] = []  # job ids, re-sorted on every decision point
     pending = list(instance.jobs)  # release order
     next_rel = 0
@@ -88,20 +101,14 @@ def simulate_nc_hdf_par(
         machine = idle[0]
         start = max(clock, job.release)
 
-        prev = assignments[machine]
-        if prev:
-            sub = instance.subset(prev)
-            assert sub is not None
-            shadow = simulate_clairvoyant(sub, power, until=job.release)
-            offset = sum(sub[k].density * v for k, v in shadow.remaining.items())
-        else:
-            offset = 0.0
+        offset = oracles[machine].weight_at(job.release) if assignments[machine] else 0.0
         # Speed rule on the *rounded* density, matching NC-general's rounding.
         rho = rounded[jid]
         w = rho * job.volume
         tau = growth_time_between(offset, offset + w, rho, alpha)
         builders[machine].append(GrowthSegment(start, start + tau, jid, offset, rho, alpha))
         assignments[machine].append(jid)
+        oracles[machine].add_job(jid, job.release, job.density, job.volume)
         free[machine] = start + tau
 
     schedules = {i: builders[i].build() for i in range(machines) if assignments[i]}
@@ -115,26 +122,34 @@ def simulate_nc_hdf_par(
 
 
 def simulate_c_hdf_par(
-    instance: Instance, power: PowerLaw, machines: int, *, beta: float = 5.0
+    instance: Instance,
+    power: PowerLaw,
+    machines: int,
+    *,
+    beta: float = 5.0,
+    context: SimulationContext | None = None,
 ) -> ClusterRun:
     """The §7 clairvoyant comparator C-HDF-PAR (immediate dispatch)."""
     if machines < 1:
         raise InvalidInstanceError(f"machines must be >= 1, got {machines}")
     rounded = {j.job_id: round_density_down(j.density, beta) for j in instance}
     assignments: dict[int, list[int]] = {i: [] for i in range(machines)}
+    if context is None:
+        context = SimulationContext(power)
+    # Immediate dispatch queries every machine at each release, in release
+    # order — a monotone stream, so each per-machine shadow advances once.
+    oracles = [context.prefix_oracle() for _ in range(machines)]
 
     def high_density_weight(machine: int, jid: int, at: float) -> float:
         """Remaining weight on ``machine`` at time ``at``, counting only jobs
         of the same or higher rounded density than ``jid``."""
-        prev = assignments[machine]
-        if not prev:
+        if not assignments[machine]:
             return 0.0
-        sub = instance.subset(prev)
-        assert sub is not None
-        run = simulate_clairvoyant(sub, power, until=at)
         cls = rounded[jid]
         return sum(
-            sub[k].density * v for k, v in run.remaining.items() if rounded[k] >= cls
+            rho * v
+            for k, rho, v in oracles[machine].remaining_items_at(at)
+            if rounded[k] >= cls
         )
 
     for job in instance:  # immediate dispatch in release order
@@ -143,6 +158,7 @@ def simulate_c_hdf_par(
         ]
         _, chosen = min(weights)
         assignments[chosen].append(job.job_id)
+        oracles[chosen].add_job(job.job_id, job.release, job.density, job.volume)
 
     schedules = {}
     for i in range(machines):

@@ -23,18 +23,22 @@ from conftest import general_instances, uniform_instances
 
 
 def brute_force_fractional_flow(schedule: Schedule, instance: Instance, samples: int) -> float:
-    """Trapezoidal integration of rho_j * V_j(t) over a fine grid."""
+    """Trapezoidal integration of rho_j * V_j(t), gridded per job.
+
+    Each job is integrated on its own grid starting at its release: a shared
+    grid from 0 puts the `V_j(t) = 0 for t < r_j` kink between grid points and
+    the trapezoid rule then smears weight into the pre-release interval.
+    """
     end = schedule.end_time
-    ts = np.linspace(0.0, end, samples)
     total = 0.0
     for job in instance:
-        vals = []
-        for t in ts:
-            if t < job.release:
-                vals.append(0.0)
-            else:
-                done = schedule.processed_volume_until(job.job_id, float(t))
-                vals.append(max(job.volume - done, 0.0))
+        if job.release >= end:
+            continue
+        ts = np.linspace(job.release, end, samples)
+        vals = [
+            max(job.volume - schedule.processed_volume_until(job.job_id, float(t)), 0.0)
+            for t in ts
+        ]
         total += job.density * float(np.trapezoid(vals, ts))
     return total
 
