@@ -1,35 +1,68 @@
 # Convenience targets for the reproduction.
+#
+# Every target runs through `PYTHONPATH=src python -m pytest` so a fresh
+# clone works without `pip install -e .` — the same invocation CI uses
+# (the tier-1 contract in ROADMAP.md).
 
-.PHONY: install test bench bench-smoke check examples reproduce clean
+PYTEST := PYTHONPATH=src python -m pytest
+PY := PYTHONPATH=src python
+
+.PHONY: install test bench bench-smoke bench-check lint typecheck check ci examples reproduce trace clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
 
 test:
-	pytest tests/
+	$(PYTEST) -x -q tests/
 
 bench:
-	pytest benchmarks/ --benchmark-only
+	$(PYTEST) benchmarks/ --benchmark-only
 
 # Fast benchmark subset: the shadow-layer speedup gate (writes
-# benchmarks/out/BENCH_general_density.json) plus the eta/beta ablation.
+# benchmarks/out/BENCH_general_density.json), the eta/beta ablation, and
+# the tracing zero-overhead gate.
 bench-smoke:
-	pytest benchmarks/bench_general_density.py benchmarks/bench_ablation_eta_beta.py --benchmark-only
+	$(PYTEST) benchmarks/bench_general_density.py benchmarks/bench_ablation_eta_beta.py benchmarks/bench_tracing_overhead.py --benchmark-only
+
+# Diff the freshly written BENCH_*.json against the committed baselines
+# (deterministic quantities must match; speedups must stay >= 5x).
+bench-check:
+	python scripts/check_bench_regression.py
+
+# Lint / type gates. Both tools are optional locally (CI always runs them);
+# the || branch makes `make ci` usable on machines without them.
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src/ tests/ benchmarks/ scripts/ && ruff format --check src/repro/core/; \
+	else echo "ruff not installed; skipping (CI runs it)"; fi
+
+typecheck:
+	@if command -v mypy >/dev/null 2>&1; then \
+		MYPYPATH=src mypy --strict -p repro.core; \
+	else echo "mypy not installed; skipping (CI runs it)"; fi
 
 # The one-stop entrypoint: tier-1 tests, then the benchmark smoke gate.
 check: test bench-smoke
 
+# What CI runs, locally: tier-1 tests, bench smoke, regression diff, lint, types.
+ci: test bench-smoke bench-check lint typecheck
+
 examples:
-	python examples/quickstart.py
-	python examples/explore_dynamics.py
-	python examples/cloud_scheduling.py
-	python examples/datacenter_cluster.py
-	python examples/adversarial_analysis.py
-	python examples/reproduce_paper.py
+	$(PY) examples/quickstart.py
+	$(PY) examples/explore_dynamics.py
+	$(PY) examples/cloud_scheduling.py
+	$(PY) examples/datacenter_cluster.py
+	$(PY) examples/adversarial_analysis.py
+	$(PY) examples/reproduce_paper.py
 
 reproduce:
-	pytest tests/ 2>&1 | tee test_output.txt
-	pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+	$(PYTEST) -q tests/ 2>&1 | tee test_output.txt
+	$(PYTEST) benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+
+# Emit and verify a JSONL trace for a small random workload (see
+# docs/observability.md).
+trace:
+	$(PY) -m repro trace --jobs 12 --seed 7 --out repro_trace.jsonl --events 10
 
 clean:
 	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache .hypothesis

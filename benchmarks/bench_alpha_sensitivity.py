@@ -14,7 +14,7 @@ A single chart/table consolidating the paper's alpha-dependencies:
 from __future__ import annotations
 
 from repro import PowerLaw
-from repro.algorithms import eta_threshold, simulate_clairvoyant, simulate_nc_uniform
+from repro.algorithms import eta_threshold, simulate_nc_uniform
 from repro.analysis import format_ascii_chart, format_table
 from repro.analysis.sweeps import alpha_grid, sweep
 from repro.core import evaluate

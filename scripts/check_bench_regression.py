@@ -1,0 +1,187 @@
+#!/usr/bin/env python3
+"""Diff fresh ``BENCH_*.json`` artifacts against the committed baselines.
+
+The benchmark suite writes machine-readable artifacts to ``benchmarks/out/``
+*in place*, so after a local ``make bench-smoke`` the working tree holds the
+fresh numbers while the committed baseline is only reachable through git.
+This script compares the two:
+
+* every shared numeric quantity must agree within ``--tolerance`` relative
+  (deterministic outputs — energies, objectives, counters, ratios — are
+  expected to agree exactly; the tolerance absorbs intentional re-baselines
+  of statistical quantities);
+* wall-clock-derived quantities (``wall_clock_s``, overhead ratios) are
+  skipped — they vary with the host — EXCEPT the shadow-layer ``speedup``,
+  which is gated one-sidedly: it may improve freely but must stay at or
+  above ``--min-speedup`` (the repo's 5x acceptance floor);
+* quantities present on only one side are reported (new benchmarks are fine;
+  silently vanished ones are not).
+
+Baselines come from ``git show <ref>:benchmarks/out/<name>`` by default
+(``--baseline-ref HEAD``), or from a directory via ``--baseline-dir`` when
+comparing two checkouts.  Used by the CI ``bench-smoke`` job and ``make ci``.
+
+Exit status: 0 clean, 1 on any regression, 2 on usage/IO errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+from pathlib import Path
+from typing import Any, Iterator
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUT_DIR = REPO_ROOT / "benchmarks" / "out"
+
+#: Host-dependent keys: never diffed against the baseline.
+TIMING_KEYS = frozenset(
+    {"wall_clock_s", "speedup", "null_overhead", "memory_overhead"}
+)
+#: The one timing-derived key that still carries an acceptance floor.
+SPEEDUP_KEY = "speedup"
+DEFAULT_MIN_SPEEDUP = 5.0
+DEFAULT_TOLERANCE = 1e-6
+
+
+def flatten(obj: Any, path: str = "") -> Iterator[tuple[str, float]]:
+    """Yield ``(dotted.path, value)`` for every numeric leaf, skipping
+    host-dependent timing keys."""
+    if isinstance(obj, dict):
+        for key, value in sorted(obj.items()):
+            if key in TIMING_KEYS:
+                continue
+            yield from flatten(value, f"{path}.{key}" if path else str(key))
+    elif isinstance(obj, list):
+        for i, value in enumerate(obj):
+            yield from flatten(value, f"{path}[{i}]")
+    elif isinstance(obj, bool):
+        return
+    elif isinstance(obj, (int, float)):
+        yield path, float(obj)
+
+
+def collect_speedups(obj: Any, path: str = "") -> Iterator[tuple[str, float]]:
+    """Every ``speedup`` leaf in a payload, with its dotted path."""
+    if isinstance(obj, dict):
+        for key, value in sorted(obj.items()):
+            sub = f"{path}.{key}" if path else str(key)
+            if key == SPEEDUP_KEY and isinstance(value, (int, float)):
+                yield sub, float(value)
+            else:
+                yield from collect_speedups(value, sub)
+    elif isinstance(obj, list):
+        for i, value in enumerate(obj):
+            yield from collect_speedups(value, f"{path}[{i}]")
+
+
+def load_baseline(
+    name: str, baseline_dir: Path | None, baseline_ref: str
+) -> dict[str, Any] | None:
+    if baseline_dir is not None:
+        path = baseline_dir / name
+        if not path.exists():
+            return None
+        return json.loads(path.read_text())
+    proc = subprocess.run(
+        ["git", "show", f"{baseline_ref}:benchmarks/out/{name}"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    if proc.returncode != 0:
+        return None
+    return json.loads(proc.stdout)
+
+
+def compare_file(
+    name: str,
+    fresh: dict[str, Any],
+    baseline: dict[str, Any],
+    tolerance: float,
+) -> list[str]:
+    problems = []
+    fresh_vals = dict(flatten(fresh))
+    base_vals = dict(flatten(baseline))
+    for path in sorted(base_vals.keys() - fresh_vals.keys()):
+        problems.append(f"{name}: {path} vanished (baseline had {base_vals[path]:g})")
+    for path in sorted(fresh_vals.keys() & base_vals.keys()):
+        a, b = fresh_vals[path], base_vals[path]
+        if abs(a - b) > tolerance * max(1.0, abs(a), abs(b)):
+            problems.append(
+                f"{name}: {path} = {a:.9g}, baseline {b:.9g} "
+                f"(rel diff {abs(a - b) / max(1.0, abs(a), abs(b)):.3g} > {tolerance:g})"
+            )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--fresh-dir",
+        type=Path,
+        default=OUT_DIR,
+        help="directory holding the freshly produced BENCH_*.json",
+    )
+    parser.add_argument(
+        "--baseline-ref",
+        default="HEAD",
+        help="git ref to read the committed baselines from (default HEAD)",
+    )
+    parser.add_argument(
+        "--baseline-dir",
+        type=Path,
+        default=None,
+        help="read baselines from a directory instead of git",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help="relative tolerance for deterministic quantities",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=DEFAULT_MIN_SPEEDUP,
+        help="acceptance floor for every fresh 'speedup' value",
+    )
+    args = parser.parse_args(argv)
+
+    fresh_files = sorted(args.fresh_dir.glob("BENCH_*.json"))
+    if not fresh_files:
+        print(f"error: no BENCH_*.json under {args.fresh_dir}", file=sys.stderr)
+        return 2
+
+    problems: list[str] = []
+    checked = 0
+    for path in fresh_files:
+        fresh = json.loads(path.read_text())
+        for spath, value in collect_speedups(fresh):
+            if value < args.min_speedup:
+                problems.append(
+                    f"{path.name}: {spath} = {value:.3f} below the "
+                    f"{args.min_speedup:g}x floor"
+                )
+        baseline = load_baseline(path.name, args.baseline_dir, args.baseline_ref)
+        if baseline is None:
+            print(f"  {path.name}: no baseline (new benchmark) — skipped diff")
+            continue
+        problems.extend(compare_file(path.name, fresh, baseline, args.tolerance))
+        checked += 1
+
+    if problems:
+        print(f"BENCH REGRESSION: {len(problems)} problem(s)")
+        for p in problems:
+            print(f"  {p}")
+        return 1
+    print(f"bench regression check: OK ({checked} baseline(s) diffed, "
+          f"{len(fresh_files)} artifact(s), tolerance {args.tolerance:g}, "
+          f"speedup floor {args.min_speedup:g}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

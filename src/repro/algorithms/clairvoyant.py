@@ -95,6 +95,7 @@ def simulate_clairvoyant(
     until: float | None = None,
     resume: tuple[float, dict[int, float]] | None = None,
     context: SimulationContext | None = None,
+    component: str = "C",
 ) -> ClairvoyantRun:
     """Exact event-driven simulation of Algorithm C under ``P(s)=s**alpha``.
 
@@ -124,7 +125,11 @@ def simulate_clairvoyant(
         builder.append(DecaySegment(t0, t1, jid, w0, instance[jid].density, alpha))
 
     shadow = ClairvoyantShadow(
-        alpha, record=record, counters=context.counters if context is not None else None
+        alpha,
+        record=record,
+        counters=context.counters if context is not None else None,
+        recorder=context.recorder if context is not None else None,
+        component=component,
     )
     if resume is not None:
         t0, ckpt = resume

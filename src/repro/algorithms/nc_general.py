@@ -144,11 +144,19 @@ class NCGeneralPolicy(SchedulingPolicy):
         #: query rolls the shadow back to the base, inserts the current job
         #: with its latest processed weight and advances to the query time.
         self._epoch: tuple[int, float, ClairvoyantShadow, ShadowCheckpoint] | None = None
+        #: tracing (wired by bind): hoisted recorder guard + the rounded
+        #: density class of the last epoch's j*, for density_class_switch.
+        self._recorder = None
+        self._rec = None
+        self._last_class: float | None = None
 
     def bind(self, context: SimulationContext) -> None:
         super().bind(context)
         self.counters = context.counters
         self._epoch = None
+        self._recorder = context.recorder
+        self._rec = context.recorder if context.recorder.enabled else None
+        self._last_class = None
 
     # -- engine callbacks -----------------------------------------------------
 
@@ -236,8 +244,36 @@ class NCGeneralPolicy(SchedulingPolicy):
             # HDF-rounded selection, so select_job need not be re-run.
             j_star = self.select_job(t)
             alpha = self.power.alpha
-            shadow = ClairvoyantShadow(alpha, counters=self.counters)
             r_star = self._released[j_star][0] if j_star is not None else t
+            rec = self._rec
+            if rec is not None:
+                # The rebuild marker goes on the epoch shadow's own component
+                # *before* the new shadow replays history: it is the rewind
+                # boundary the ordering contract keys on.
+                rec.emit(
+                    "shadow_rebuild",
+                    t,
+                    "nc_general.shadow",
+                    j_star=j_star,
+                    base_time=r_star,
+                )
+                cls = self._released[j_star][1] if j_star is not None else None
+                if cls != self._last_class:
+                    rec.emit(
+                        "density_class_switch",
+                        t,
+                        "nc_general",
+                        job=j_star,
+                        density_class=cls,
+                        prev_class=self._last_class,
+                    )
+                    self._last_class = cls
+            shadow = ClairvoyantShadow(
+                alpha,
+                counters=self.counters,
+                recorder=self._recorder,
+                component="nc_general.shadow",
+            )
             for jid, (rel, rho) in self._released.items():
                 if jid != j_star and processed.get(jid, 0.0) > 0.0:
                     shadow.insert_job(jid, rel, rho, processed[jid])
@@ -288,6 +324,7 @@ def simulate_nc_general(
     epsilon: float = 1e-6,
     max_step: float = 1e-2,
     shadow_mode: str | None = None,
+    context: SimulationContext | None = None,
 ) -> NCGeneralRun:
     """Run Algorithm NC-general numerically on ``instance``.
 
@@ -301,7 +338,9 @@ def simulate_nc_general(
     """
     policy = NCGeneralPolicy(power, eta=eta, beta=beta, epsilon=epsilon, shadow_mode=shadow_mode)
     min_step = min(1e-14, epsilon**2 / 16.0)
-    engine = NumericEngine(power, max_step=max_step, min_step=max(min_step, 1e-300))
+    engine = NumericEngine(
+        power, max_step=max_step, min_step=max(min_step, 1e-300), context=context
+    )
     result: EngineResult = engine.run(instance, policy)
     return NCGeneralRun(
         instance=instance,

@@ -64,7 +64,11 @@ class NCUniformRun:
 
 
 def simulate_nc_uniform(
-    instance: Instance, power: PowerLaw, *, context: SimulationContext | None = None
+    instance: Instance,
+    power: PowerLaw,
+    *,
+    context: SimulationContext | None = None,
+    component: str = "NC",
 ) -> NCUniformRun:
     """Exact simulation of Algorithm NC on a uniform-density instance.
 
@@ -87,7 +91,9 @@ def simulate_nc_uniform(
     starts: dict[int, float] = {}
     if context is None:
         context = SimulationContext(power)
-    oracle = context.prefix_oracle()
+    oracle = context.prefix_oracle(component=f"{component}.prefix")
+    recorder = context.recorder
+    rec = recorder if recorder.enabled else None  # zero-overhead hoist
     jobs = list(instance.jobs)
     revealed = 0
     t = 0.0
@@ -110,6 +116,28 @@ def simulate_nc_uniform(
         # its (only now revealed) weight has been processed.
         tau = growth_time_between(offset, offset + job.weight, job.density, alpha)
         builder.append(GrowthSegment(start, start + tau, job.job_id, offset, job.density, alpha))
+        if rec is not None:
+            rec.emit(
+                "release",
+                job.release,
+                component,
+                job=job.job_id,
+                density=job.density,
+                offset=offset,
+            )
+            rec.emit(
+                "kernel_eval",
+                start,
+                component,
+                profile="growth",
+                t0=start,
+                t1=start + tau,
+                job=job.job_id,
+                x0=offset,
+                rho=job.density,
+                alpha=alpha,
+            )
+            rec.emit("completion", start + tau, component, job=job.job_id)
         t = start + tau
     return NCUniformRun(
         instance=instance, power=power, schedule=builder.build(), offsets=offsets, starts=starts

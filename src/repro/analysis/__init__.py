@@ -18,6 +18,15 @@ from .section4 import Section4Trace, shadow_properties
 from .statistics import FleetStats, JobStats, fleet_statistics, job_statistics
 from .suites import nonuniform_suite, uniform_suite
 from .sweeps import SweepPoint, alpha_grid, sweep
+from .trace_report import (
+    ComponentStats,
+    InvariantCheck,
+    TraceReport,
+    build_report,
+    check_event_order,
+    format_report,
+    replay_schedule,
+)
 from .verification import ClaimCheck, verify_paper_claims
 from .tables import Table1Row, build_table1, render_table1, theoretical_bound
 
@@ -56,4 +65,11 @@ __all__ = [
     "cluster_gantt",
     "Section4Trace",
     "shadow_properties",
+    "TraceReport",
+    "InvariantCheck",
+    "ComponentStats",
+    "build_report",
+    "check_event_order",
+    "format_report",
+    "replay_schedule",
 ]

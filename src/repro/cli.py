@@ -8,6 +8,8 @@ Commands:
 * ``figures``      — regenerate the Figure 1/2 curves as ASCII charts.
 * ``lower-bound``  — the §6 immediate-dispatch adversary, swept over k.
 * ``cluster``      — NC-PAR vs C-PAR on a generated workload.
+* ``trace``        — run C + NC with tracing on, write a JSONL trace and
+  replay it through :mod:`repro.analysis.trace_report` (Lemma 3/4 checks).
 
 Every command accepts ``--seed`` and ``--alpha`` so results are exactly
 reproducible.  The CLI builds only on the public API — it doubles as an
@@ -108,6 +110,23 @@ def build_parser() -> argparse.ArgumentParser:
     p_ver = sub.add_parser("verify", help="check every testable paper claim on a workload")
     p_ver.add_argument("--machines", type=int, default=1)
     _add_workload_args(p_ver)
+
+    p_tr = sub.add_parser(
+        "trace", help="emit a JSONL trace of C + NC and replay its invariants"
+    )
+    p_tr.add_argument(
+        "--out", default="repro_trace.jsonl", help="JSONL trace output path"
+    )
+    p_tr.add_argument(
+        "--events", type=int, default=0, help="pretty-print the first N events"
+    )
+    p_tr.add_argument(
+        "--corpus", default=None, help="golden corpus JSON to load the instance from"
+    )
+    p_tr.add_argument(
+        "--case", default=None, help="corpus key (e.g. nc_uniform/...); requires --corpus"
+    )
+    _add_workload_args(p_tr)
 
     return parser
 
@@ -236,8 +255,71 @@ def _cmd_verify(args: argparse.Namespace) -> str:
     return table + f"\n\n{verdict} ({sum(c.holds for c in checks)}/{len(checks)})"
 
 
+def _cmd_trace(args: argparse.Namespace) -> str:
+    import json
+
+    from .algorithms import simulate_clairvoyant, simulate_nc_uniform
+    from .analysis.trace_report import build_report, format_report
+    from .core.errors import InvalidInstanceError
+    from .core.shadow import SimulationContext
+    from .core.tracing import JsonlRecorder, read_jsonl
+
+    if args.case is not None:
+        if args.corpus is None:
+            raise SystemExit("--case requires --corpus")
+        corpus = json.loads(open(args.corpus, encoding="utf-8").read())
+        if args.case not in corpus:
+            raise SystemExit(
+                f"case {args.case!r} not in corpus ({len(corpus)} entries)"
+            )
+        entry = corpus[args.case]
+        inst = Instance(
+            [Job(int(j), r, v, d) for j, r, v, d in entry["instance"]]
+        )
+        alpha = float(entry["alpha"])
+    else:
+        inst = _workload(args)
+        alpha = args.alpha
+    power = PowerLaw(alpha)
+    if not inst.is_uniform_density():
+        raise InvalidInstanceError(
+            "trace requires a uniform-density instance (Lemma 3/4 replay); "
+            "use --densities unit or a nc_uniform/ corpus case"
+        )
+
+    with JsonlRecorder(args.out) as recorder:
+        context = SimulationContext(power, recorder=recorder)
+        context.emit(
+            "run_meta",
+            0.0,
+            "harness",
+            alpha=alpha,
+            instance=[[j.job_id, j.release, j.volume, j.density] for j in inst],
+            algorithms=["C", "NC"],
+        )
+        simulate_clairvoyant(inst, power, context=context)
+        simulate_nc_uniform(inst, power, context=context)
+
+    events = read_jsonl(args.out)
+    report = build_report(events)
+    out = [f"trace written to {args.out} ({len(events)} events)"]
+    if args.events > 0:
+        out.append("")
+        for e in events[: args.events]:
+            payload = ", ".join(f"{k}={v}" for k, v in e.payload.items())
+            out.append(
+                f"  [{e.component:>10}] {e.kind:<18} sim_t={e.sim_time:<12.6g} {payload}"
+            )
+        if len(events) > args.events:
+            out.append(f"  ... ({len(events) - args.events} more)")
+    out.append("")
+    out.append(format_report(report))
+    return "\n".join(out)
+
+
 _DISPATCH = {
     "run": _cmd_run,
+    "trace": _cmd_trace,
     "opt": _cmd_opt,
     "verify": _cmd_verify,
     "ratio": _cmd_ratio,

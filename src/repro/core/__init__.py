@@ -32,6 +32,17 @@ from .shadow import (
     ShadowCounters,
     SimulationContext,
 )
+from .tracing import (
+    EVENT_KINDS,
+    NULL_RECORDER,
+    JsonlRecorder,
+    MemoryRecorder,
+    MetricsRegistry,
+    NullRecorder,
+    TraceEvent,
+    TraceRecorder,
+    read_jsonl,
+)
 
 __all__ = [
     "ReproError",
@@ -68,4 +79,13 @@ __all__ = [
     "PrefixWeightOracle",
     "ShadowCheckpoint",
     "ShadowCounters",
+    "EVENT_KINDS",
+    "TraceEvent",
+    "TraceRecorder",
+    "NullRecorder",
+    "NULL_RECORDER",
+    "MemoryRecorder",
+    "JsonlRecorder",
+    "MetricsRegistry",
+    "read_jsonl",
 ]

@@ -127,6 +127,8 @@ class NumericEngine:
         oracle = VolumeOracle(instance)
         context.oracle = oracle
         policy.bind(context)
+        recorder = context.recorder
+        rec = recorder if recorder.enabled else None  # zero-overhead hoist
         releases = list(oracle.releases())  # FIFO order
         next_release = 0
         processed: dict[int, float] = {}
@@ -136,6 +138,8 @@ class NumericEngine:
         t_phase = 0.0  # time of the last event; the step ramp restarts here
         steps = 0
         stall = 0
+        last_speed = 0.0  # for speed_change events (traced runs only)
+        last_job: int | None = None
 
         def fire_releases(now: float) -> None:
             nonlocal next_release, t_phase
@@ -144,6 +148,14 @@ class NumericEngine:
                 processed[info.job_id] = 0.0
                 active.add(info.job_id)
                 policy.on_release(info.release, info.job_id, info.density)
+                if rec is not None:
+                    rec.emit(
+                        "release",
+                        info.release,
+                        "engine",
+                        job=info.job_id,
+                        density=info.density,
+                    )
                 next_release += 1
                 t_phase = now
 
@@ -207,6 +219,8 @@ class NumericEngine:
                 s_mid = s0
             if s_mid <= 0:
                 stall += 1
+                if rec is not None:
+                    rec.emit("stall_guard_tick", t, "engine", stall=stall, limit=self.stall_limit)
                 if stall > self.stall_limit:
                     raise SimulationError(f"policy stalled at zero speed near t={t}")
                 builder.append(ConstantSegment(t, t + h, None, 0.0))
@@ -214,6 +228,12 @@ class NumericEngine:
                 fire_releases(t)
                 continue
             stall = 0
+            if rec is not None and (s_mid != last_speed or job_id != last_job):
+                rec.emit(
+                    "speed_change", t, "engine", job=job_id, speed=s_mid, prev_speed=last_speed
+                )
+                last_speed = s_mid
+                last_job = job_id
 
             room = true_volume - processed[job_id]
             if s_mid * h >= room - 1e-15 * max(1.0, true_volume):
@@ -226,6 +246,8 @@ class NumericEngine:
                 active.discard(job_id)
                 oracle._mark_completed(job_id)
                 policy.on_completion(t, job_id, true_volume)
+                if rec is not None:
+                    rec.emit("completion", t, "engine", job=job_id, volume=true_volume)
             else:
                 builder.append(ConstantSegment(t, t + h, job_id, s_mid))
                 processed[job_id] += s_mid * h

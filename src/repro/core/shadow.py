@@ -40,11 +40,13 @@ from __future__ import annotations
 
 import math
 from bisect import bisect_right
-from dataclasses import dataclass, field, fields
-from typing import Callable
+from dataclasses import dataclass
+from typing import Any, Callable
 
 from .errors import SimulationError
 from .kernels import decay_time_between, decay_weight_after
+from .power import PowerFunction
+from .tracing import NULL_RECORDER, MetricsRegistry, TraceRecorder
 
 __all__ = [
     "ShadowCounters",
@@ -59,7 +61,18 @@ __all__ = [
 _TIE_TOL = 1e-12
 
 
-@dataclass
+def _counter(name: str) -> Any:
+    """A :class:`ShadowCounters` attribute backed by a registry slot."""
+
+    def _get(self: "ShadowCounters") -> int:
+        return int(self.registry.values.get(name, 0))
+
+    def _set(self: "ShadowCounters", value: int) -> None:
+        self.registry.values[name] = value
+
+    return property(_get, _set)
+
+
 class ShadowCounters:
     """Observability counters shared by the engine and its shadow oracles.
 
@@ -70,19 +83,52 @@ class ShadowCounters:
     from-scratch reconstructions (epoch changes in NC-general, time
     regressions in prefix oracles); a rebuild-heavy run has lost the
     amortization the layer exists for.
+
+    Since the tracing layer landed this is a *view* over a
+    :class:`~repro.core.tracing.MetricsRegistry` rather than a bag of ad-hoc
+    ints: ``counters.events += 1`` and ``registry.values["events"]`` read and
+    write the same slot, so counters, trace events and any future metrics
+    share one substrate per run.
     """
 
-    engine_steps: int = 0
-    queries: int = 0
-    advances: int = 0
-    events: int = 0
-    inserts: int = 0
-    checkpoints: int = 0
-    rollbacks: int = 0
-    rebuilds: int = 0
+    FIELDS = (
+        "engine_steps",
+        "queries",
+        "advances",
+        "events",
+        "inserts",
+        "checkpoints",
+        "rollbacks",
+        "rebuilds",
+    )
+
+    __slots__ = ("registry",)
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        for name in self.FIELDS:
+            self.registry.values.setdefault(name, 0)
+
+    engine_steps = _counter("engine_steps")
+    queries = _counter("queries")
+    advances = _counter("advances")
+    events = _counter("events")
+    inserts = _counter("inserts")
+    checkpoints = _counter("checkpoints")
+    rollbacks = _counter("rollbacks")
+    rebuilds = _counter("rebuilds")
 
     def as_dict(self) -> dict[str, int]:
-        return {f.name: getattr(self, f.name) for f in fields(self)}
+        return {name: getattr(self, name) for name in self.FIELDS}
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ShadowCounters):
+            return NotImplemented
+        return self.as_dict() == other.as_dict()
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{name}={getattr(self, name)}" for name in self.FIELDS)
+        return f"ShadowCounters({inner})"
 
 
 @dataclass(frozen=True)
@@ -104,6 +150,13 @@ class ClairvoyantShadow:
     ``kind`` in ``{"decay", "const"}`` and ``value`` the piece's starting
     total weight (decay) or the cap speed (const); the analytic simulators
     use it to build their schedules.
+
+    ``recorder`` — if given and enabled — receives structured trace events
+    tagged with ``component``: a ``release`` per revealed job, a
+    ``kernel_eval`` per committed closed-form piece, a ``completion`` per
+    job leaving the active set, and ``shadow_checkpoint`` /
+    ``shadow_rollback`` markers.  All emission sites honor the
+    zero-overhead-when-off contract of :mod:`repro.core.tracing`.
     """
 
     __slots__ = (
@@ -111,8 +164,10 @@ class ClairvoyantShadow:
         "s_max",
         "clock",
         "counters",
+        "component",
         "_w_sat",
         "_record",
+        "_rec",
         "_t_loop",
         "_remaining",
         "_pending",
@@ -130,6 +185,8 @@ class ClairvoyantShadow:
         s_max: float | None = None,
         counters: ShadowCounters | None = None,
         record: Callable[[str, float, float, int, float], None] | None = None,
+        recorder: TraceRecorder | None = None,
+        component: str = "shadow",
     ) -> None:
         if not alpha > 1:
             raise ValueError(f"alpha must exceed 1, got {alpha}")
@@ -140,6 +197,9 @@ class ClairvoyantShadow:
         self._w_sat = math.inf if s_max is None else self.s_max**self.alpha
         self.counters = counters if counters is not None else ShadowCounters()
         self._record = record
+        self.component = component
+        #: hoisted zero-overhead guard: None unless tracing is actually on.
+        self._rec = recorder if (recorder is not None and recorder.enabled) else None
         #: time of the last *committed* event; the anchored partial piece (if
         #: any) spans (_t_loop, clock].
         self._t_loop = 0.0
@@ -192,6 +252,10 @@ class ClairvoyantShadow:
         i = bisect_right(self._pending, entry, lo=self._next)
         self._pending.insert(i, entry)
         self.counters.inserts += 1
+        if self._rec is not None:
+            self._rec.emit(
+                "release", release, self.component, job=job_id, density=density, volume=volume
+            )
         if release <= self.clock * (1.0 + _TIE_TOL):
             # Catch the state up: the loop splits the anchored piece at the
             # new release and admits the job, mirroring a fresh run.
@@ -242,6 +306,8 @@ class ClairvoyantShadow:
         s_max = self.s_max
         w_sat = self._w_sat
         record = self._record
+        rec = self._rec
+        comp = self.component
         counters = self.counters
         dtb = decay_time_between
         dwa = decay_weight_after
@@ -276,6 +342,8 @@ class ClairvoyantShadow:
                 # processing time would round to zero.  Finish instantly.
                 del rem[cur]
                 counters.events += 1
+                if rec is not None:
+                    rec.emit("completion", t, comp, job=cur)
                 continue
             w_end = w_total - rho * rem[cur]
 
@@ -291,6 +359,8 @@ class ClairvoyantShadow:
                     rem[cur] = max(rem[cur] - (w_total - target) / rho, 0.0)
                     if rem[cur] <= 0.0:
                         del rem[cur]
+                        if rec is not None:
+                            rec.emit("completion", t, comp, job=cur)
                     counters.events += 1
                     continue
                 if (
@@ -307,10 +377,25 @@ class ClairvoyantShadow:
                 if tau > 0:
                     if record is not None:
                         record("const", t, t_stop, cur, s_max)
+                    if rec is not None:
+                        rec.emit(
+                            "kernel_eval",
+                            t,
+                            comp,
+                            profile="const",
+                            t0=t,
+                            t1=t_stop,
+                            job=cur,
+                            speed=s_max,
+                            rho=rho,
+                            alpha=alpha,
+                        )
                     dv = s_max * tau
                     rem[cur] = max(rem[cur] - dv, 0.0)
                     if rem[cur] <= 0.0:
                         del rem[cur]
+                        if rec is not None:
+                            rec.emit("completion", t_stop, comp, job=cur)
                     counters.events += 1
                 t = t_stop
                 bound = t * (1.0 + _TIE_TOL)
@@ -325,9 +410,24 @@ class ClairvoyantShadow:
                 # The current job completes first.
                 if record is not None:
                     record("decay", t, t + tau_complete, cur, w_total)
+                if rec is not None:
+                    rec.emit(
+                        "kernel_eval",
+                        t,
+                        comp,
+                        profile="decay",
+                        t0=t,
+                        t1=t + tau_complete,
+                        job=cur,
+                        x0=w_total,
+                        rho=rho,
+                        alpha=alpha,
+                    )
                 t = t + tau_complete
                 del rem[cur]
                 counters.events += 1
+                if rec is not None:
+                    rec.emit("completion", t, comp, job=cur)
             else:
                 if t_stop >= horizon and not t_next <= horizon * (1.0 + _TIE_TOL):
                     # Cut only by the query horizon with no admission due:
@@ -343,11 +443,26 @@ class ClairvoyantShadow:
                     dv = (w_total - w_after) / rho
                     if record is not None:
                         record("decay", t, t_stop, cur, w_total)
+                    if rec is not None:
+                        rec.emit(
+                            "kernel_eval",
+                            t,
+                            comp,
+                            profile="decay",
+                            t0=t,
+                            t1=t_stop,
+                            job=cur,
+                            x0=w_total,
+                            rho=rho,
+                            alpha=alpha,
+                        )
                     rem[cur] = max(rem[cur] - dv, 0.0)
                     # Only drop exact zeros — a 1e-15 remainder is usually the
                     # analytically correct value (see simulate_clairvoyant).
                     if rem[cur] <= 0.0:
                         del rem[cur]
+                        if rec is not None:
+                            rec.emit("completion", t_stop, comp, job=cur)
                     counters.events += 1
                 t = t_stop
             bound = t * (1.0 + _TIE_TOL)
@@ -381,18 +496,47 @@ class ClairvoyantShadow:
             rho = rho_of[cur]
             w_total = sum(rho_of[j] * v for j, v in rem.items())
         tau = self.clock - self._t_loop
+        rec = self._rec
         if self.s_max is not None and w_total > self._w_sat * (1.0 + _TIE_TOL):
             if self._record is not None:
                 self._record("const", self._t_loop, self.clock, cur, self.s_max)
+            if rec is not None:
+                rec.emit(
+                    "kernel_eval",
+                    self._t_loop,
+                    self.component,
+                    profile="const",
+                    t0=self._t_loop,
+                    t1=self.clock,
+                    job=cur,
+                    speed=self.s_max,
+                    rho=rho,
+                    alpha=self.alpha,
+                )
             dv = self.s_max * tau
         else:
             w_after = decay_weight_after(w_total, rho, tau, self.alpha)
             dv = (w_total - w_after) / rho
             if self._record is not None:
                 self._record("decay", self._t_loop, self.clock, cur, w_total)
+            if rec is not None:
+                rec.emit(
+                    "kernel_eval",
+                    self._t_loop,
+                    self.component,
+                    profile="decay",
+                    t0=self._t_loop,
+                    t1=self.clock,
+                    job=cur,
+                    x0=w_total,
+                    rho=rho,
+                    alpha=self.alpha,
+                )
         rem[cur] = max(rem[cur] - dv, 0.0)
         if rem[cur] <= 0.0:
             del rem[cur]
+            if rec is not None:
+                rec.emit("completion", self.clock, self.component, job=cur)
         self.counters.events += 1
         self._t_loop = self.clock
         self._piece = None
@@ -463,6 +607,14 @@ class ClairvoyantShadow:
         """Materialize and snapshot the state for later :meth:`rollback`."""
         self.materialize()
         self.counters.checkpoints += 1
+        if self._rec is not None:
+            self._rec.emit(
+                "shadow_checkpoint",
+                self.clock,
+                self.component,
+                active=len(self._remaining),
+                pending=len(self._pending) - self._next,
+            )
         return ShadowCheckpoint(
             clock=self.clock,
             remaining=tuple(self._remaining.items()),
@@ -475,6 +627,10 @@ class ClairvoyantShadow:
         Jobs inserted after the checkpoint vanish from the active/pending
         sets (their metadata is kept; re-inserting them is allowed)."""
         self.counters.rollbacks += 1
+        if self._rec is not None:
+            self._rec.emit(
+                "shadow_rollback", ckpt.clock, self.component, from_time=self.clock
+            )
         self.clock = ckpt.clock
         self._t_loop = ckpt.clock
         self._remaining = dict(ckpt.remaining)
@@ -502,6 +658,14 @@ class ClairvoyantShadow:
         """
         counters = self.counters
         counters.rollbacks += 1
+        if self._rec is not None:
+            self._rec.emit(
+                "shadow_rollback",
+                base.clock,
+                self.component,
+                from_time=self.clock,
+                speculative=True,
+            )
         self.clock = self._t_loop = base.clock
         rem = self._remaining = dict(base.remaining)
         pending = self._pending = list(base.pending)
@@ -562,12 +726,19 @@ class PrefixWeightOracle:
         *,
         s_max: float | None = None,
         counters: ShadowCounters | None = None,
+        recorder: TraceRecorder | None = None,
+        component: str = "shadow",
     ) -> None:
         self.alpha = alpha
         self.s_max = s_max
         self.counters = counters if counters is not None else ShadowCounters()
+        self.component = component
+        self._recorder = recorder
+        self._rec = recorder if (recorder is not None and recorder.enabled) else None
         self._jobs: list[tuple[float, int, float, float]] = []  # (release, id, rho, vol)
-        self._shadow = ClairvoyantShadow(alpha, s_max=s_max, counters=self.counters)
+        self._shadow = ClairvoyantShadow(
+            alpha, s_max=s_max, counters=self.counters, recorder=recorder, component=component
+        )
         self._dirty = False
 
     def add_job(self, job_id: int, release: float, density: float, volume: float) -> None:
@@ -582,8 +753,21 @@ class PrefixWeightOracle:
     def _settle(self, t: float) -> ClairvoyantShadow:
         if self._dirty or t < self._shadow.clock:
             self.counters.rebuilds += 1
+            if self._rec is not None:
+                self._rec.emit(
+                    "shadow_rebuild",
+                    t,
+                    self.component,
+                    from_time=self._shadow.clock,
+                    jobs=len(self._jobs),
+                    reason="dirty" if self._dirty else "time_regression",
+                )
             self._shadow = ClairvoyantShadow(
-                self.alpha, s_max=self.s_max, counters=self.counters
+                self.alpha,
+                s_max=self.s_max,
+                counters=self.counters,
+                recorder=self._recorder,
+                component=self.component,
             )
             for release, jid, rho, vol in sorted(self._jobs):
                 self._shadow.insert_job(jid, release, rho, vol)
@@ -610,12 +794,30 @@ class SimulationContext:
     from the factories below so all shadow traffic lands in one counter set.
     """
 
-    def __init__(self, power, *, counters: ShadowCounters | None = None) -> None:
+    def __init__(
+        self,
+        power: PowerFunction,
+        *,
+        counters: ShadowCounters | None = None,
+        recorder: TraceRecorder | None = None,
+    ) -> None:
         self.power = power
         self.counters = counters if counters is not None else ShadowCounters()
+        #: the run's metrics substrate — counters are a view over it.
+        self.metrics = self.counters.registry
+        self.recorder: TraceRecorder = recorder if recorder is not None else NULL_RECORDER
         self.oracle = None  # set by the engine at run start
 
-    def _shadow_params(self, power=None) -> tuple[float, float | None]:
+    def emit(self, kind: str, sim_time: float, component: str, **payload: Any) -> None:
+        """Guarded convenience emit — a no-op when tracing is off.
+
+        Hot loops should still hoist ``context.recorder`` themselves; this is
+        for one-shot emissions (run headers, phase markers)."""
+        rec = self.recorder
+        if rec.enabled:
+            rec.emit(kind, sim_time, component, **payload)
+
+    def _shadow_params(self, power: PowerFunction | None = None) -> tuple[float, float | None]:
         power = self.power if power is None else power
         alpha = getattr(power, "alpha", None)
         if alpha is None:
@@ -624,14 +826,35 @@ class SimulationContext:
             )
         return alpha, getattr(power, "s_max", None)
 
-    def shadow(self, *, power=None, record=None) -> ClairvoyantShadow:
-        """A fresh :class:`ClairvoyantShadow` wired to this context's counters."""
+    def shadow(
+        self,
+        *,
+        power: PowerFunction | None = None,
+        record: Callable[[str, float, float, int, float], None] | None = None,
+        component: str = "shadow",
+    ) -> ClairvoyantShadow:
+        """A fresh :class:`ClairvoyantShadow` wired to this context's counters
+        and recorder."""
         alpha, s_max = self._shadow_params(power)
         return ClairvoyantShadow(
-            alpha, s_max=s_max, counters=self.counters, record=record
+            alpha,
+            s_max=s_max,
+            counters=self.counters,
+            record=record,
+            recorder=self.recorder,
+            component=component,
         )
 
-    def prefix_oracle(self, *, power=None) -> PrefixWeightOracle:
-        """A fresh :class:`PrefixWeightOracle` wired to this context's counters."""
+    def prefix_oracle(
+        self, *, power: PowerFunction | None = None, component: str = "shadow"
+    ) -> PrefixWeightOracle:
+        """A fresh :class:`PrefixWeightOracle` wired to this context's counters
+        and recorder."""
         alpha, s_max = self._shadow_params(power)
-        return PrefixWeightOracle(alpha, s_max=s_max, counters=self.counters)
+        return PrefixWeightOracle(
+            alpha,
+            s_max=s_max,
+            counters=self.counters,
+            recorder=self.recorder,
+            component=component,
+        )

@@ -1,0 +1,282 @@
+"""Structured tracing and metrics for the engine + shadow stack.
+
+The speed rules of the paper are *state-coupled dynamics*: Algorithm C's
+remaining weight drives NC-general's speed, NC-uniform's offsets are frozen
+reads of a shadow C run, and one mis-ordered event silently changes every
+number downstream.  The final :class:`~repro.core.engine.EngineResult` cannot
+answer "which kernel fired at t=3.7, and why did NC diverge from C there" —
+this module can.  It provides:
+
+* :class:`TraceEvent` — one typed, timestamped record.  Every event carries
+  the *simulation* time it describes, the *wall-clock* time it was emitted
+  (relative to the recorder's creation, so per-phase wall-time breakdowns
+  need no epoch bookkeeping), the emitting ``component`` (``"engine"``,
+  ``"C"``, ``"NC"``, ``"shadow"``, ``"nc_general"``, ...) and a ``kind`` from
+  :data:`EVENT_KINDS` with a kind-specific payload.
+* :class:`TraceRecorder` — the protocol consumers emit through, with three
+  implementations: :class:`NullRecorder` (the default; tracing off),
+  :class:`MemoryRecorder` (in-process list, for tests and reports) and
+  :class:`JsonlRecorder` (one JSON object per line, streamed to disk).
+* :class:`MetricsRegistry` — a named-counter store.
+  :class:`~repro.core.shadow.ShadowCounters` is a *view* over one of these,
+  so ad-hoc counter ints and trace events share a single metrics substrate.
+
+Zero-overhead-when-off contract
+-------------------------------
+
+Hot loops must hoist the recorder once and guard every emission::
+
+    rec = context.recorder
+    rec = rec if rec.enabled else None
+    ...
+    if rec is not None:
+        rec.emit("kernel_eval", t, "shadow", profile="decay", ...)
+
+:class:`NullRecorder` advertises ``enabled = False``, so a run with tracing
+off pays exactly one attribute read at setup — no event objects, no payload
+dicts, no wall-clock calls.  ``benchmarks/bench_tracing_overhead.py`` holds
+this to within a few percent of the untraced baseline.
+
+Ordering contract
+-----------------
+
+Within one ``(component, kind)`` stream, events are emitted in nondecreasing
+``sim_time`` order — except across a ``shadow_rollback`` / ``shadow_rebuild``
+boundary, which by construction rewinds the emitting component's clock (the
+whole point of those events is to mark exactly where time was rewound).
+``tests/test_tracing.py`` enforces this.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Iterator, Protocol, TextIO, runtime_checkable
+
+__all__ = [
+    "EVENT_KINDS",
+    "TraceEvent",
+    "TraceRecorder",
+    "NullRecorder",
+    "NULL_RECORDER",
+    "MemoryRecorder",
+    "JsonlRecorder",
+    "MetricsRegistry",
+    "read_jsonl",
+]
+
+#: The closed set of event kinds.  ``run_meta`` is the self-description header
+#: a harness writes before a traced run (instance, alpha, algorithm) so a
+#: JSONL trace is replayable without out-of-band context.
+EVENT_KINDS = frozenset(
+    {
+        "run_meta",
+        "release",
+        "completion",
+        "speed_change",
+        "kernel_eval",
+        "shadow_checkpoint",
+        "shadow_rollback",
+        "shadow_rebuild",
+        "density_class_switch",
+        "stall_guard_tick",
+    }
+)
+
+
+@dataclass(frozen=True, slots=True)
+class TraceEvent:
+    """One structured trace record.
+
+    ``sim_time`` is the simulation clock the event describes; ``wall_time``
+    is seconds since the recorder was created (monotone within a trace);
+    ``component`` names the emitter; ``payload`` is kind-specific data, JSON
+    representable by construction.
+    """
+
+    kind: str
+    sim_time: float
+    wall_time: float
+    component: str
+    payload: dict[str, Any] = field(default_factory=dict)
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "kind": self.kind,
+                "sim_time": self.sim_time,
+                "wall_time": self.wall_time,
+                "component": self.component,
+                "payload": self.payload,
+            },
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, line: str) -> "TraceEvent":
+        raw = json.loads(line)
+        return cls(
+            kind=raw["kind"],
+            sim_time=float(raw["sim_time"]),
+            wall_time=float(raw["wall_time"]),
+            component=raw["component"],
+            payload=dict(raw.get("payload", {})),
+        )
+
+
+@runtime_checkable
+class TraceRecorder(Protocol):
+    """What the engine, shadow layer and algorithms emit through.
+
+    ``enabled`` is the zero-overhead switch: consumers read it once per run
+    (or per hot loop) and skip event construction entirely when it is False.
+    ``emit`` stamps the wall clock and stores/serializes the event.
+    """
+
+    enabled: bool
+
+    def emit(self, kind: str, sim_time: float, component: str, **payload: Any) -> None: ...
+
+
+class NullRecorder:
+    """Tracing off: ``enabled`` is False and ``emit`` is a no-op.
+
+    Consumers that honor the hoist-and-guard idiom never even call ``emit``;
+    the method exists so un-hoisted call sites stay correct, just slower.
+    """
+
+    enabled: bool = False
+
+    def emit(self, kind: str, sim_time: float, component: str, **payload: Any) -> None:
+        return None
+
+
+#: Shared default recorder — stateless, so one instance serves every context.
+NULL_RECORDER = NullRecorder()
+
+
+class MemoryRecorder:
+    """Collect events in an in-process list (tests, ad-hoc analysis)."""
+
+    enabled: bool = True
+
+    def __init__(self) -> None:
+        self.events: list[TraceEvent] = []
+        self._origin = time.perf_counter()
+
+    def emit(self, kind: str, sim_time: float, component: str, **payload: Any) -> None:
+        if kind not in EVENT_KINDS:
+            raise ValueError(f"unknown trace event kind {kind!r}")
+        self.events.append(
+            TraceEvent(
+                kind=kind,
+                sim_time=float(sim_time),
+                wall_time=time.perf_counter() - self._origin,
+                component=component,
+                payload=payload,
+            )
+        )
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def events_of(self, kind: str, component: str | None = None) -> list[TraceEvent]:
+        return [
+            e
+            for e in self.events
+            if e.kind == kind and (component is None or e.component == component)
+        ]
+
+
+class JsonlRecorder:
+    """Stream events to a JSONL file (one :class:`TraceEvent` per line).
+
+    Usable as a context manager; :func:`read_jsonl` round-trips the file back
+    into :class:`TraceEvent` objects.
+    """
+
+    enabled: bool = True
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._fh: TextIO | None = self.path.open("w", encoding="utf-8")
+        self._origin = time.perf_counter()
+        self.count = 0
+
+    def emit(self, kind: str, sim_time: float, component: str, **payload: Any) -> None:
+        if kind not in EVENT_KINDS:
+            raise ValueError(f"unknown trace event kind {kind!r}")
+        if self._fh is None:
+            raise ValueError(f"JsonlRecorder({self.path}) is closed")
+        event = TraceEvent(
+            kind=kind,
+            sim_time=float(sim_time),
+            wall_time=time.perf_counter() - self._origin,
+            component=component,
+            payload=payload,
+        )
+        self._fh.write(event.to_json() + "\n")
+        self.count += 1
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "JsonlRecorder":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+def read_jsonl(path: str | Path) -> list[TraceEvent]:
+    """Load a trace written by :class:`JsonlRecorder`."""
+    out = []
+    with Path(path).open("r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                out.append(TraceEvent.from_json(line))
+    return out
+
+
+class MetricsRegistry:
+    """Named integer/float counters shared by a run's observability surface.
+
+    The registry is intentionally plain — a dict with increment semantics —
+    so counter bumps in hot loops stay cheap.  Typed views (such as
+    :class:`~repro.core.shadow.ShadowCounters`) expose curated subsets as
+    attributes; ad-hoc metrics are welcome alongside them.
+    """
+
+    __slots__ = ("values",)
+
+    def __init__(self, initial: dict[str, int | float] | None = None) -> None:
+        self.values: dict[str, int | float] = dict(initial) if initial else {}
+
+    def increment(self, name: str, amount: int | float = 1) -> None:
+        self.values[name] = self.values.get(name, 0) + amount
+
+    def get(self, name: str, default: int | float = 0) -> int | float:
+        return self.values.get(name, default)
+
+    def set(self, name: str, value: int | float) -> None:
+        self.values[name] = value
+
+    def as_dict(self, prefix: str | None = None) -> dict[str, int | float]:
+        if prefix is None:
+            return dict(self.values)
+        return {k: v for k, v in self.values.items() if k.startswith(prefix)}
+
+    def names(self) -> Iterable[str]:
+        return self.values.keys()
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v}" for k, v in sorted(self.values.items()))
+        return f"MetricsRegistry({inner})"

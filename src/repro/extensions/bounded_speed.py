@@ -137,6 +137,8 @@ def simulate_clairvoyant_capped(
         s_max=power.s_max,
         record=record,
         counters=context.counters if context is not None else None,
+        recorder=context.recorder if context is not None else None,
+        component="C_capped",
     )
     for job in instance.jobs:
         shadow.insert_job(job.job_id, job.release, job.density, job.volume)
@@ -172,7 +174,9 @@ def simulate_nc_uniform_capped(
     u_sat = power.saturation_weight
     if context is None:
         context = SimulationContext(power)
-    oracle = context.prefix_oracle()
+    oracle = context.prefix_oracle(component="NC_capped.prefix")
+    recorder = context.recorder
+    rec = recorder if recorder.enabled else None  # zero-overhead hoist
     jobs = list(instance.jobs)
     revealed = 0
     builder = ScheduleBuilder()
@@ -186,6 +190,10 @@ def simulate_nc_uniform_capped(
             revealed += 1
         offset = oracle.weight_at(job.release) if revealed else 0.0
 
+        if rec is not None:
+            rec.emit(
+                "release", job.release, "NC_capped", job=job.job_id, density=rho, offset=offset
+            )
         u_end = offset + job.weight
         cursor = start
         if offset < u_sat:
@@ -194,6 +202,19 @@ def simulate_nc_uniform_capped(
             tau = growth_time_between(offset, u_stop, rho, alpha)
             if tau > 0:
                 builder.append(GrowthSegment(cursor, cursor + tau, job.job_id, offset, rho, alpha))
+                if rec is not None:
+                    rec.emit(
+                        "kernel_eval",
+                        cursor,
+                        "NC_capped",
+                        profile="growth",
+                        t0=cursor,
+                        t1=cursor + tau,
+                        job=job.job_id,
+                        x0=offset,
+                        rho=rho,
+                        alpha=alpha,
+                    )
                 cursor += tau
             reached = u_stop
         else:
@@ -202,9 +223,24 @@ def simulate_nc_uniform_capped(
             # Saturated phase: constant speed to the finish line.
             tau = (u_end - reached) / (rho * power.s_max)
             builder.append(ConstantSegment(cursor, cursor + tau, job.job_id, power.s_max))
+            if rec is not None:
+                rec.emit(
+                    "kernel_eval",
+                    cursor,
+                    "NC_capped",
+                    profile="const",
+                    t0=cursor,
+                    t1=cursor + tau,
+                    job=job.job_id,
+                    speed=power.s_max,
+                    rho=rho,
+                    alpha=alpha,
+                )
             cursor += tau
         if cursor <= start:
             raise SimulationError(f"job {job.job_id} made no progress")
+        if rec is not None:
+            rec.emit("completion", cursor, "NC_capped", job=job.job_id)
         t = cursor
     return CappedRun(
         instance=instance, power=power, schedule=builder.build(), clock=t, remaining={}

@@ -16,6 +16,7 @@ from typing import Callable, Literal
 from ..core.errors import InvalidInstanceError
 from ..core.job import Instance
 from ..core.power import PowerLaw
+from ..core.shadow import SimulationContext
 from ..algorithms.clairvoyant import simulate_clairvoyant
 from ..algorithms.nc_uniform import simulate_nc_uniform
 from .cluster import ClusterRun
@@ -81,10 +82,13 @@ def simulate_immediate_dispatch(
     machines: int,
     rule: str | DispatchRule = "least_count",
     per_machine: Literal["C", "NC"] = "C",
+    context: SimulationContext | None = None,
 ) -> ClusterRun:
     """Dispatch with a volume-oblivious rule, then run each machine's jobs
     with Algorithm C (``per_machine='C'``) or Algorithm NC (``'NC'``, uniform
-    densities only)."""
+    densities only).  ``context`` — if given — routes per-machine shadow
+    counters and trace events (one ``release`` per dispatch decision,
+    component ``"dispatch"``) through its recorder."""
     if machines < 1:
         raise InvalidInstanceError(f"machines must be >= 1, got {machines}")
     rule_fn = DISPATCH_RULES[rule] if isinstance(rule, str) else rule
@@ -93,9 +97,16 @@ def simulate_immediate_dispatch(
     if len(targets) != len(job_ids) or any(not 0 <= m < machines for m in targets):
         raise InvalidInstanceError("dispatch rule returned an invalid assignment")
 
+    rec = None
+    if context is not None and context.recorder.enabled:
+        rec = context.recorder
     assignments: dict[int, list[int]] = {i: [] for i in range(machines)}
     for jid, m in zip(job_ids, targets):
         assignments[m].append(jid)
+        if rec is not None:
+            rec.emit(
+                "release", instance[jid].release, "dispatch", job=jid, machine=m
+            )
 
     schedules = {}
     for i in range(machines):
@@ -104,9 +115,13 @@ def simulate_immediate_dispatch(
         sub = instance.subset(assignments[i])
         assert sub is not None
         if per_machine == "C":
-            schedules[i] = simulate_clairvoyant(sub, power).schedule
+            schedules[i] = simulate_clairvoyant(
+                sub, power, context=context, component=f"dispatch.m{i}.C"
+            ).schedule
         elif per_machine == "NC":
-            schedules[i] = simulate_nc_uniform(sub, power).schedule
+            schedules[i] = simulate_nc_uniform(
+                sub, power, context=context, component=f"dispatch.m{i}.NC"
+            ).schedule
         else:
             raise ValueError(f"unknown per-machine algorithm {per_machine!r}")
     return ClusterRun(

@@ -53,7 +53,11 @@ def simulate_nc_par(
     # One incremental shadow run of Algorithm C per machine: the global queue
     # is FIFO, so each machine's offset queries arrive in nondecreasing time
     # and the oracle never has to rebuild.
-    oracles = [context.prefix_oracle() for _ in range(machines)]
+    oracles = [
+        context.prefix_oracle(component=f"nc_par.m{i}.prefix") for i in range(machines)
+    ]
+    recorder = context.recorder
+    rec = recorder if recorder.enabled else None  # zero-overhead hoist
 
     for job in instance:  # global FIFO queue == release order
         # Pick the machine that is (or first becomes) available.  Among
@@ -72,6 +76,30 @@ def simulate_nc_par(
         builders[chosen].append(
             GrowthSegment(start, start + tau, job.job_id, offset, job.density, alpha)
         )
+        if rec is not None:
+            comp = f"nc_par.m{chosen}"
+            rec.emit(
+                "release",
+                job.release,
+                comp,
+                job=job.job_id,
+                density=job.density,
+                machine=chosen,
+                offset=offset,
+            )
+            rec.emit(
+                "kernel_eval",
+                start,
+                comp,
+                profile="growth",
+                t0=start,
+                t1=start + tau,
+                job=job.job_id,
+                x0=offset,
+                rho=job.density,
+                alpha=alpha,
+            )
+            rec.emit("completion", start + tau, comp, job=job.job_id)
         assignments[chosen].append(job.job_id)
         oracles[chosen].add_job(job.job_id, job.release, job.density, job.volume)
         free[chosen] = start + tau

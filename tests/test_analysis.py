@@ -5,7 +5,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro import Instance, Job, PowerLaw
+from repro import Instance, Job
 from repro.algorithms.clairvoyant import simulate_clairvoyant
 from repro.algorithms.nc_uniform import simulate_nc_uniform
 from repro.analysis import (

@@ -120,3 +120,71 @@ class TestVerifyCommand:
         out = run_cli(capsys, "verify", "--jobs", "4", "--seed", "2")
         assert "Lemma 20" not in out
         assert "Theorem 5" in out
+
+
+class TestTraceCommand:
+    def test_trace_writes_jsonl_and_passes_lemmas(self, capsys, tmp_path):
+        out_path = tmp_path / "trace.jsonl"
+        out = run_cli(
+            capsys, "trace", "--jobs", "6", "--seed", "2", "--out", str(out_path)
+        )
+        assert out_path.exists()
+        assert "[PASS] Lemma 3" in out
+        assert "[PASS] Lemma 4" in out
+        assert "event ordering: OK" in out
+
+    def test_trace_pretty_prints_events(self, capsys, tmp_path):
+        out = run_cli(
+            capsys,
+            "trace",
+            "--jobs",
+            "4",
+            "--seed",
+            "1",
+            "--events",
+            "3",
+            "--out",
+            str(tmp_path / "t.jsonl"),
+        )
+        assert "run_meta" in out
+        assert "more)" in out
+
+    def test_trace_golden_corpus_case(self, capsys, tmp_path):
+        import json
+        import pathlib
+
+        corpus_path = pathlib.Path(__file__).parent / "data" / "golden_corpus.json"
+        key = sorted(
+            k for k in json.loads(corpus_path.read_text()) if k.startswith("nc_uniform/")
+        )[0]
+        out = run_cli(
+            capsys,
+            "trace",
+            "--corpus",
+            str(corpus_path),
+            "--case",
+            key,
+            "--out",
+            str(tmp_path / "g.jsonl"),
+        )
+        assert "[PASS] Lemma 3" in out
+
+    def test_trace_rejects_nonuniform(self, tmp_path):
+        from repro.core.errors import InvalidInstanceError
+
+        with pytest.raises(InvalidInstanceError):
+            main(
+                [
+                    "trace",
+                    "--jobs",
+                    "4",
+                    "--densities",
+                    "loguniform",
+                    "--out",
+                    str(tmp_path / "t.jsonl"),
+                ]
+            )
+
+    def test_trace_case_requires_corpus(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["trace", "--case", "nc_uniform/whatever"])

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro import Instance, Job, PowerLaw
+from repro import Instance, Job
 from repro.algorithms import simulate_clairvoyant
 from repro.analysis import cluster_gantt, gantt_chart, gantt_line
 from repro.core.schedule import ConstantSegment, Schedule

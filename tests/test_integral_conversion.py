@@ -10,7 +10,6 @@ from repro import Instance, Job, PowerLaw
 from repro.algorithms.integral_conversion import convert, to_integral_schedule
 from repro.algorithms.nc_uniform import simulate_nc_uniform
 from repro.algorithms.clairvoyant import simulate_clairvoyant
-from repro.core.metrics import evaluate
 
 from conftest import uniform_instances
 

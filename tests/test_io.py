@@ -7,7 +7,7 @@ import json
 import pytest
 from hypothesis import given, settings
 
-from repro import Instance, Job, PowerLaw
+from repro import PowerLaw
 from repro.algorithms import (
     simulate_clairvoyant,
     simulate_nc_uniform,

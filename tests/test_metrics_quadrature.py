@@ -12,7 +12,6 @@ from __future__ import annotations
 import numpy as np
 import pytest
 from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro import Instance, Job, PowerLaw
 from repro.algorithms import simulate_clairvoyant, simulate_nc_uniform

@@ -7,7 +7,7 @@ import math
 
 import pytest
 
-from repro import Instance, Job, PowerLaw
+from repro import Instance, Job
 from repro.core import errors
 from repro.core.engine import NumericEngine
 from repro.core.kernels import (

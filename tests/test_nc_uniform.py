@@ -13,7 +13,6 @@ from __future__ import annotations
 
 import pytest
 from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro import Instance, Job, PowerLaw
 from repro.algorithms.clairvoyant import simulate_clairvoyant

@@ -7,7 +7,6 @@ import math
 import numpy as np
 import pytest
 from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro.core.errors import InvalidPowerFunctionError
 from repro.core.power import CUBE_LAW, PowerLaw, TabulatedPower

@@ -1,0 +1,305 @@
+"""Tests for the structured tracing layer (`repro.core.tracing`) and the
+trace replay/invariant machinery (`repro.analysis.trace_report`).
+
+The contracts under test:
+
+* recorders — NullRecorder is off and free, MemoryRecorder collects typed
+  events, JsonlRecorder round-trips losslessly through `read_jsonl`;
+* the metrics substrate — `ShadowCounters` is a view over one
+  `MetricsRegistry`, so counter bumps and ad-hoc metrics share storage;
+* emission — traced runs of C, NC, NC-general and the engine produce events
+  in monotone per-(component, kind) sim-time order (rollback boundaries
+  excepted) and tracing does not perturb the simulated trajectory;
+* replay — a golden-corpus instance's JSONL trace rebuilds both schedules
+  and passes the Lemma 3 energy equality at 1e-9 (the paper's invariant,
+  checked *from the trace alone*).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro.algorithms.clairvoyant import simulate_clairvoyant
+from repro.algorithms.nc_general import simulate_nc_general
+from repro.algorithms.nc_uniform import simulate_nc_uniform
+from repro.analysis.trace_report import (
+    build_report,
+    check_event_order,
+    instance_from_meta,
+    replay_schedule,
+)
+from repro.core.job import Instance, Job
+from repro.core.metrics import evaluate
+from repro.core.power import PowerLaw
+from repro.core.shadow import ClairvoyantShadow, ShadowCounters, SimulationContext
+from repro.core.tracing import (
+    EVENT_KINDS,
+    NULL_RECORDER,
+    JsonlRecorder,
+    MemoryRecorder,
+    MetricsRegistry,
+    NullRecorder,
+    TraceEvent,
+    TraceRecorder,
+    read_jsonl,
+)
+from repro.parallel.nc_par import simulate_nc_par
+from repro.workloads import random_instance
+
+CORPUS_PATH = pathlib.Path(__file__).parent / "data" / "golden_corpus.json"
+
+ALPHA = 3.0
+
+
+def _uniform_instance(n: int = 10, seed: int = 7) -> Instance:
+    return random_instance(n, seed=seed, volume="exponential", density="unit")
+
+
+class TestRecorders:
+    def test_null_recorder_is_disabled(self):
+        assert NULL_RECORDER.enabled is False
+        assert NullRecorder().emit("release", 0.0, "engine", job=1) is None
+
+    def test_recorders_satisfy_protocol(self):
+        assert isinstance(NULL_RECORDER, TraceRecorder)
+        assert isinstance(MemoryRecorder(), TraceRecorder)
+
+    def test_memory_recorder_collects(self):
+        rec = MemoryRecorder()
+        rec.emit("release", 1.0, "C", job=0, density=2.0)
+        rec.emit("completion", 2.0, "C", job=0)
+        assert len(rec) == 2
+        assert [e.kind for e in rec] == ["release", "completion"]
+        assert rec.events_of("release")[0].payload == {"job": 0, "density": 2.0}
+        assert rec.events_of("completion", component="NC") == []
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown trace event kind"):
+            MemoryRecorder().emit("not_a_kind", 0.0, "C")
+
+    def test_wall_time_is_monotone(self):
+        rec = MemoryRecorder()
+        for k in range(5):
+            rec.emit("stall_guard_tick", float(k), "engine", stall=k)
+        walls = [e.wall_time for e in rec]
+        assert walls == sorted(walls)
+        assert walls[0] >= 0.0
+
+    def test_jsonl_round_trip(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with JsonlRecorder(path) as rec:
+            rec.emit("release", 0.5, "C", job=3, density=1.0)
+            rec.emit("kernel_eval", 0.5, "C", profile="decay", t0=0.5, t1=1.0, job=3)
+            assert rec.count == 2
+        events = read_jsonl(path)
+        assert len(events) == 2
+        assert events[0] == TraceEvent(
+            kind="release",
+            sim_time=0.5,
+            wall_time=events[0].wall_time,
+            component="C",
+            payload={"job": 3, "density": 1.0},
+        )
+        # Full JSON round trip: to_json -> from_json is the identity.
+        for e in events:
+            assert TraceEvent.from_json(e.to_json()) == e
+
+    def test_jsonl_emit_after_close_raises(self, tmp_path):
+        rec = JsonlRecorder(tmp_path / "t.jsonl")
+        rec.close()
+        with pytest.raises(ValueError, match="closed"):
+            rec.emit("release", 0.0, "C", job=0)
+
+    def test_jsonl_validates_kind(self, tmp_path):
+        with JsonlRecorder(tmp_path / "t.jsonl") as rec:
+            with pytest.raises(ValueError, match="unknown trace event kind"):
+                rec.emit("bogus", 0.0, "C")
+
+
+class TestMetricsRegistry:
+    def test_increment_and_get(self):
+        reg = MetricsRegistry()
+        reg.increment("hits")
+        reg.increment("hits", 4)
+        assert reg.get("hits") == 5
+        assert reg.get("misses") == 0
+        reg.set("ratio", 0.5)
+        assert reg.as_dict() == {"hits": 5, "ratio": 0.5}
+
+    def test_prefix_filter(self):
+        reg = MetricsRegistry({"shadow.events": 2, "engine.steps": 7})
+        assert reg.as_dict("shadow.") == {"shadow.events": 2}
+
+    def test_counters_are_a_registry_view(self):
+        reg = MetricsRegistry()
+        counters = ShadowCounters(reg)
+        counters.events += 3
+        counters.rebuilds = 2
+        assert reg.values["events"] == 3
+        assert reg.values["rebuilds"] == 2
+        # Writes through the registry are visible through the view.
+        reg.values["queries"] = 11
+        assert counters.queries == 11
+        assert counters.as_dict()["queries"] == 11
+
+    def test_counters_share_context_registry(self):
+        context = SimulationContext(PowerLaw(ALPHA))
+        assert context.metrics is context.counters.registry
+        context.counters.inserts += 1
+        assert context.metrics.get("inserts") == 1
+
+    def test_counters_equality_unchanged(self):
+        a, b = ShadowCounters(), ShadowCounters()
+        assert a == b
+        a.queries += 1
+        assert a != b
+
+
+class TestEmission:
+    def test_context_defaults_to_null_recorder(self):
+        context = SimulationContext(PowerLaw(ALPHA))
+        assert context.recorder is NULL_RECORDER
+        # The shadow's hoisted guard must be None -> zero per-event work.
+        shadow = context.shadow()
+        assert shadow._rec is None
+
+    def test_traced_run_emits_known_kinds_only(self):
+        rec = MemoryRecorder()
+        context = SimulationContext(PowerLaw(ALPHA), recorder=rec)
+        inst = _uniform_instance()
+        simulate_clairvoyant(inst, PowerLaw(ALPHA), context=context)
+        simulate_nc_uniform(inst, PowerLaw(ALPHA), context=context)
+        assert len(rec) > 0
+        assert {e.kind for e in rec} <= EVENT_KINDS
+
+    def test_monotone_sim_time_per_component(self):
+        rec = MemoryRecorder()
+        context = SimulationContext(PowerLaw(ALPHA), recorder=rec)
+        inst = _uniform_instance(n=14, seed=21)
+        simulate_clairvoyant(inst, PowerLaw(ALPHA), context=context)
+        simulate_nc_uniform(inst, PowerLaw(ALPHA), context=context)
+        assert check_event_order(rec.events) == []
+
+    def test_releases_and_completions_counted(self):
+        rec = MemoryRecorder()
+        context = SimulationContext(PowerLaw(ALPHA), recorder=rec)
+        inst = _uniform_instance(n=9, seed=5)
+        simulate_clairvoyant(inst, PowerLaw(ALPHA), context=context)
+        assert len(rec.events_of("release", component="C")) == len(inst)
+        assert len(rec.events_of("completion", component="C")) == len(inst)
+
+    def test_tracing_does_not_perturb_the_run(self):
+        inst = _uniform_instance(n=12, seed=9)
+        power = PowerLaw(ALPHA)
+        plain = simulate_nc_uniform(inst, power)
+        traced_ctx = SimulationContext(power, recorder=MemoryRecorder())
+        traced = simulate_nc_uniform(inst, power, context=traced_ctx)
+        assert plain.offsets == traced.offsets
+        assert plain.starts == traced.starts
+
+    def test_nc_general_emits_shadow_lifecycle_events(self):
+        rec = MemoryRecorder()
+        power = PowerLaw(ALPHA)
+        context = SimulationContext(power, recorder=rec)
+        inst = random_instance(4, seed=3, volume="uniform", density="loguniform")
+        simulate_nc_general(inst, power, max_step=5e-2, context=context)
+        kinds = {e.kind for e in rec}
+        assert "shadow_checkpoint" in kinds
+        assert "shadow_rollback" in kinds
+        assert "shadow_rebuild" in kinds
+        assert "density_class_switch" in kinds
+        assert "speed_change" in kinds
+        # Rollback boundaries excepted, the stream is still monotone.
+        assert check_event_order(rec.events) == []
+        # The engine and the epoch shadows both report through one channel.
+        comps = {e.component for e in rec}
+        assert "engine" in comps and "nc_general.shadow" in comps
+
+    def test_nc_par_emits_per_machine_components(self):
+        rec = MemoryRecorder()
+        power = PowerLaw(ALPHA)
+        context = SimulationContext(power, recorder=rec)
+        inst = _uniform_instance(n=8, seed=13)
+        simulate_nc_par(inst, power, machines=2, context=context)
+        comps = {e.component for e in rec}
+        assert "nc_par.m0" in comps and "nc_par.m1" in comps
+        assert check_event_order(rec.events) == []
+
+    def test_shadow_checkpoint_rollback_events(self):
+        rec = MemoryRecorder()
+        shadow = ClairvoyantShadow(ALPHA, recorder=rec, component="S")
+        shadow.insert_job(0, 0.0, 1.0, 2.0)
+        shadow.advance(0.5)
+        ckpt = shadow.checkpoint()
+        shadow.advance(1.0)
+        shadow.rollback(ckpt)
+        kinds = [e.kind for e in rec]
+        assert "shadow_checkpoint" in kinds and "shadow_rollback" in kinds
+        rb = rec.events_of("shadow_rollback", component="S")[0]
+        assert rb.sim_time == ckpt.clock
+        assert rb.payload["from_time"] == pytest.approx(1.0)
+
+
+class TestReplay:
+    def test_replayed_schedule_matches_live_energy(self):
+        rec = MemoryRecorder()
+        power = PowerLaw(ALPHA)
+        context = SimulationContext(power, recorder=rec)
+        inst = _uniform_instance(n=11, seed=17)
+        live = simulate_clairvoyant(inst, power, context=context)
+        replayed = replay_schedule(rec.events, "C")
+        assert replayed is not None
+        live_rep = evaluate(live.schedule, inst, power)
+        replay_rep = evaluate(replayed, inst, power)
+        assert replay_rep.energy == pytest.approx(live_rep.energy, rel=1e-12)
+
+    def test_golden_corpus_jsonl_lemma3(self, tmp_path):
+        """The acceptance path: golden instance -> JsonlRecorder -> read back
+        -> trace_report with Lemma 3 (and 4) passing at 1e-9."""
+        corpus = json.loads(CORPUS_PATH.read_text())
+        key = sorted(k for k in corpus if k.startswith("nc_uniform/"))[0]
+        entry = corpus[key]
+        inst = Instance(
+            [Job(int(j), r, v, d) for j, r, v, d in entry["instance"]]
+        )
+        power = PowerLaw(entry["alpha"])
+        path = tmp_path / "golden.jsonl"
+        with JsonlRecorder(path) as rec:
+            context = SimulationContext(power, recorder=rec)
+            context.emit(
+                "run_meta",
+                0.0,
+                "harness",
+                alpha=entry["alpha"],
+                instance=[[j.job_id, j.release, j.volume, j.density] for j in inst],
+            )
+            simulate_clairvoyant(inst, power, context=context)
+            simulate_nc_uniform(inst, power, context=context)
+        events = read_jsonl(path)
+        meta = instance_from_meta(events)
+        assert meta is not None
+        report = build_report(events)
+        assert report.order_violations == []
+        lemma3 = [c for c in report.checks if c.name.startswith("Lemma 3")]
+        lemma4 = [c for c in report.checks if c.name.startswith("Lemma 4")]
+        assert lemma3 and lemma3[0].holds, lemma3
+        assert lemma4 and lemma4[0].holds, lemma4
+        # And the replayed energy agrees with the recorded golden value.
+        assert lemma3[0].rhs == pytest.approx(entry["energy"], rel=1e-9)
+
+    def test_order_checker_flags_regressions(self):
+        rec = MemoryRecorder()
+        rec.emit("release", 2.0, "C", job=0)
+        rec.emit("release", 1.0, "C", job=1)
+        violations = check_event_order(rec.events)
+        assert len(violations) == 1 and "C/release" in violations[0]
+
+    def test_order_checker_allows_rollback_rewind(self):
+        rec = MemoryRecorder()
+        rec.emit("kernel_eval", 5.0, "S", profile="decay")
+        rec.emit("shadow_rollback", 1.0, "S", from_time=5.0)
+        rec.emit("kernel_eval", 1.5, "S", profile="decay")
+        assert check_event_order(rec.events) == []

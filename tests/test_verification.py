@@ -2,10 +2,9 @@
 
 from __future__ import annotations
 
-import pytest
 from hypothesis import given, settings
 
-from repro import Instance, Job, PowerLaw
+from repro import PowerLaw
 from repro.analysis import ClaimCheck, verify_paper_claims
 
 from conftest import uniform_instances

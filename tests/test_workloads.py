@@ -4,12 +4,10 @@ from __future__ import annotations
 
 import pytest
 
-from repro import PowerLaw
 from repro.core.metrics import evaluate
 from repro.algorithms.clairvoyant import simulate_clairvoyant
 from repro.offline.single_job import single_job_opt_fractional
 from repro.workloads import (
-    BillingSummary,
     Tenant,
     billing_summary,
     burst_instance,
@@ -163,7 +161,6 @@ class TestCloud:
             assert j.density == owner[j.job_id].penalty
 
     def test_billing_summary(self, cube):
-        from repro.algorithms.nc_uniform import simulate_nc_uniform
 
         tenants = (Tenant("t", lam=10.0, penalty=1.0, mean_volume=1.0),)
         inst, owner = cloud_instance(4, 3, tenants=tenants)
