@@ -7,7 +7,7 @@
 PYTEST := PYTHONPATH=src python -m pytest
 PY := PYTHONPATH=src python
 
-.PHONY: install test bench bench-smoke bench-check lint typecheck check ci examples reproduce trace clean
+.PHONY: install test bench bench-smoke bench-check lint typecheck check ci examples reproduce trace chaos clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -19,10 +19,10 @@ bench:
 	$(PYTEST) benchmarks/ --benchmark-only
 
 # Fast benchmark subset: the shadow-layer speedup gate (writes
-# benchmarks/out/BENCH_general_density.json), the eta/beta ablation, and
-# the tracing zero-overhead gate.
+# benchmarks/out/BENCH_general_density.json), the eta/beta ablation, the
+# tracing zero-overhead gate, and the supervisor-overhead gate.
 bench-smoke:
-	$(PYTEST) benchmarks/bench_general_density.py benchmarks/bench_ablation_eta_beta.py benchmarks/bench_tracing_overhead.py --benchmark-only
+	$(PYTEST) benchmarks/bench_general_density.py benchmarks/bench_ablation_eta_beta.py benchmarks/bench_tracing_overhead.py benchmarks/bench_supervisor_overhead.py --benchmark-only
 
 # Diff the freshly written BENCH_*.json against the committed baselines
 # (deterministic quantities must match; speedups must stay >= 5x).
@@ -38,7 +38,7 @@ lint:
 
 typecheck:
 	@if command -v mypy >/dev/null 2>&1; then \
-		MYPYPATH=src mypy --strict -p repro.core; \
+		MYPYPATH=src mypy --strict -p repro.core -p repro.faults -p repro.runtime; \
 	else echo "mypy not installed; skipping (CI runs it)"; fi
 
 # The one-stop entrypoint: tier-1 tests, then the benchmark smoke gate.
@@ -63,6 +63,11 @@ reproduce:
 # docs/observability.md).
 trace:
 	$(PY) -m repro trace --jobs 12 --seed 7 --out repro_trace.jsonl --events 10
+
+# Seeded fault-injection campaign under the supervised runtime (see
+# docs/robustness.md). Exits nonzero if any run fails its guarantees.
+chaos:
+	$(PY) -m repro chaos --seed 0 --n 30
 
 clean:
 	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache .hypothesis

@@ -11,9 +11,11 @@ This script compares the two:
   expected to agree exactly; the tolerance absorbs intentional re-baselines
   of statistical quantities);
 * wall-clock-derived quantities (``wall_clock_s``, overhead ratios) are
-  skipped — they vary with the host — EXCEPT the shadow-layer ``speedup``,
-  which is gated one-sidedly: it may improve freely but must stay at or
-  above ``--min-speedup`` (the repo's 5x acceptance floor);
+  skipped — they vary with the host — EXCEPT two one-sided gates: the
+  shadow-layer ``speedup`` must stay at or above ``--min-speedup`` (the
+  repo's 5x acceptance floor) and the supervisor's no-fault
+  ``supervised_overhead`` must stay at or below ``--max-overhead`` (1.05,
+  the robustness layer's 5% ceiling);
 * quantities present on only one side are reported (new benchmarks are fine;
   silently vanished ones are not).
 
@@ -38,11 +40,15 @@ OUT_DIR = REPO_ROOT / "benchmarks" / "out"
 
 #: Host-dependent keys: never diffed against the baseline.
 TIMING_KEYS = frozenset(
-    {"wall_clock_s", "speedup", "null_overhead", "memory_overhead"}
+    {"wall_clock_s", "speedup", "null_overhead", "memory_overhead", "supervised_overhead"}
 )
 #: The one timing-derived key that still carries an acceptance floor.
 SPEEDUP_KEY = "speedup"
+#: Timing-derived key with an acceptance *ceiling*: the no-fault supervised
+#: run may cost at most 5% over the unsupervised baseline.
+OVERHEAD_KEY = "supervised_overhead"
 DEFAULT_MIN_SPEEDUP = 5.0
+DEFAULT_MAX_OVERHEAD = 1.05
 DEFAULT_TOLERANCE = 1e-6
 
 
@@ -63,18 +69,18 @@ def flatten(obj: Any, path: str = "") -> Iterator[tuple[str, float]]:
         yield path, float(obj)
 
 
-def collect_speedups(obj: Any, path: str = "") -> Iterator[tuple[str, float]]:
-    """Every ``speedup`` leaf in a payload, with its dotted path."""
+def collect_key(obj: Any, wanted: str, path: str = "") -> Iterator[tuple[str, float]]:
+    """Every numeric ``wanted`` leaf in a payload, with its dotted path."""
     if isinstance(obj, dict):
         for key, value in sorted(obj.items()):
             sub = f"{path}.{key}" if path else str(key)
-            if key == SPEEDUP_KEY and isinstance(value, (int, float)):
+            if key == wanted and isinstance(value, (int, float)):
                 yield sub, float(value)
             else:
-                yield from collect_speedups(value, sub)
+                yield from collect_key(value, wanted, sub)
     elif isinstance(obj, list):
         for i, value in enumerate(obj):
-            yield from collect_speedups(value, f"{path}[{i}]")
+            yield from collect_key(value, wanted, f"{path}[{i}]")
 
 
 def load_baseline(
@@ -148,6 +154,12 @@ def main(argv: list[str] | None = None) -> int:
         default=DEFAULT_MIN_SPEEDUP,
         help="acceptance floor for every fresh 'speedup' value",
     )
+    parser.add_argument(
+        "--max-overhead",
+        type=float,
+        default=DEFAULT_MAX_OVERHEAD,
+        help="acceptance ceiling for every fresh 'supervised_overhead' value",
+    )
     args = parser.parse_args(argv)
 
     fresh_files = sorted(args.fresh_dir.glob("BENCH_*.json"))
@@ -159,11 +171,17 @@ def main(argv: list[str] | None = None) -> int:
     checked = 0
     for path in fresh_files:
         fresh = json.loads(path.read_text())
-        for spath, value in collect_speedups(fresh):
+        for spath, value in collect_key(fresh, SPEEDUP_KEY):
             if value < args.min_speedup:
                 problems.append(
                     f"{path.name}: {spath} = {value:.3f} below the "
                     f"{args.min_speedup:g}x floor"
+                )
+        for spath, value in collect_key(fresh, OVERHEAD_KEY):
+            if value > args.max_overhead:
+                problems.append(
+                    f"{path.name}: {spath} = {value:.3f} above the "
+                    f"{args.max_overhead:g}x supervised-overhead ceiling"
                 )
         baseline = load_baseline(path.name, args.baseline_dir, args.baseline_ref)
         if baseline is None:

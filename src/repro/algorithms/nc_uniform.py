@@ -26,6 +26,8 @@ it — which is why the simulation is a single FIFO pass.
 """
 
 from __future__ import annotations
+
+import math
 from dataclasses import dataclass
 
 from ..core.engine import NumericEngine, SchedulingPolicy
@@ -94,6 +96,7 @@ def simulate_nc_uniform(
     oracle = context.prefix_oracle(component=f"{component}.prefix")
     recorder = context.recorder
     rec = recorder if recorder.enabled else None  # zero-overhead hoist
+    filt = context.volume_filter  # fault reveal channel; None when unfaulted
     jobs = list(instance.jobs)
     revealed = 0
     t = 0.0
@@ -107,7 +110,17 @@ def simulate_nc_uniform(
         # when alpha is close to 1).
         while revealed < len(jobs) and jobs[revealed].release < job.release:
             prev = jobs[revealed]
-            oracle.add_job(prev.job_id, prev.release, prev.density, prev.volume)
+            vol = prev.volume
+            if filt is not None:
+                vol = filt(prev.job_id, vol)
+                if not (math.isfinite(vol) and vol > 0.0):
+                    raise SimulationError(
+                        f"revealed volume of job {prev.job_id} corrupted to {vol}",
+                        time=job.release,
+                        job=prev.job_id,
+                        value=vol,
+                    )
+            oracle.add_job(prev.job_id, prev.release, prev.density, vol)
             revealed += 1
         offset = oracle.weight_at(job.release)
         offsets[job.job_id] = offset

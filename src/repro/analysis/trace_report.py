@@ -13,7 +13,16 @@ invariants *from the trace alone* — no access to the original run objects:
 * **Lemma 4** — ``frac_flow(NC) == frac_flow(C) / (1 - 1/alpha)``.
 * **Ordering** — per ``(component, kind)`` stream, ``sim_time`` is
   nondecreasing except across a ``shadow_rollback`` / ``shadow_rebuild``
-  boundary on that component (the events that mark a clock rewind).
+  boundary on that component (the events that mark a clock rewind), or a
+  supervisor ``retry`` (which restarts a whole attempt, rewinding every
+  stream).
+
+Supervised runs (:mod:`repro.runtime.supervisor`) may retry a failed
+attempt: a ``retry`` event on component ``X`` means every ``kernel_eval``
+previously emitted by ``X`` (and its ``X.*`` children) belongs to a
+discarded attempt.  :func:`replay_schedule` honors this by resetting its
+builder at the boundary, so post-recovery invariant checks see only the
+surviving attempt.
 
 :func:`build_report` computes all of the above plus a per-component
 wall-time/event breakdown; :func:`format_report` renders it for the CLI.
@@ -112,10 +121,17 @@ def instance_from_meta(events: list[TraceEvent]) -> tuple[Instance, PowerLaw] | 
 
 
 def replay_schedule(events: list[TraceEvent], component: str) -> Schedule | None:
-    """Rebuild a component's schedule from its ``kernel_eval`` events."""
+    """Rebuild a component's schedule from its ``kernel_eval`` events.
+
+    A ``retry`` event on ``component`` discards everything replayed so far —
+    those kernel pieces belong to a failed, rolled-back attempt."""
     builder = ScheduleBuilder()
     n = 0
     for e in events:
+        if e.kind == "retry" and e.component == component:
+            builder = ScheduleBuilder()
+            n = 0
+            continue
         if e.kind != "kernel_eval" or e.component != component:
             continue
         p = e.payload
@@ -142,11 +158,15 @@ def check_event_order(events: list[TraceEvent]) -> list[str]:
 
     A ``shadow_rollback`` or ``shadow_rebuild`` on a component rewinds that
     component's clock, so it resets the watermark for *all* kinds of that
-    component.
+    component.  A supervisor ``retry`` restarts a whole attempt from a
+    checkpoint, so it resets every watermark.
     """
     last: dict[tuple[str, str], float] = {}
     violations: list[str] = []
     for i, e in enumerate(events):
+        if e.kind == "retry":
+            last.clear()
+            continue
         if e.kind in ("shadow_rollback", "shadow_rebuild"):
             for key in [k for k in last if k[0] == e.component]:
                 del last[key]

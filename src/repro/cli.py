@@ -10,10 +10,15 @@ Commands:
 * ``cluster``      — NC-PAR vs C-PAR on a generated workload.
 * ``trace``        — run C + NC with tracing on, write a JSONL trace and
   replay it through :mod:`repro.analysis.trace_report` (Lemma 3/4 checks).
+* ``chaos``        — seeded fault-injection campaign under the supervised
+  runtime; re-verifies the paper's guarantees on every surviving run.
 
 Every command accepts ``--seed`` and ``--alpha`` so results are exactly
 reproducible.  The CLI builds only on the public API — it doubles as an
 integration test surface (see ``tests/test_cli.py``).
+
+``verify`` and ``chaos`` exit nonzero when any checked claim fails, so they
+can gate CI directly.
 """
 
 from __future__ import annotations
@@ -127,6 +132,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--case", default=None, help="corpus key (e.g. nc_uniform/...); requires --corpus"
     )
     _add_workload_args(p_tr)
+
+    p_ch = sub.add_parser(
+        "chaos", help="seeded fault-injection campaign under the supervised runtime"
+    )
+    p_ch.add_argument("--seed", type=int, default=0, help="campaign seed")
+    p_ch.add_argument("--n", type=int, default=30, help="number of fault scenarios")
+    p_ch.add_argument("--jobs", type=int, default=8, help="jobs per scenario")
+    p_ch.add_argument("--machines", type=int, default=3, help="machines (parallel runs)")
+    p_ch.add_argument("--out", default=None, help="append every run's trace to this JSONL file")
 
     return parser
 
@@ -244,15 +258,36 @@ def _cmd_opt(args: argparse.Namespace) -> str:
     )
 
 
-def _cmd_verify(args: argparse.Namespace) -> str:
+def _cmd_verify(args: argparse.Namespace) -> tuple[str, int]:
     from .analysis.verification import render_claims, verify_paper_claims
 
     power = PowerLaw(args.alpha)
     inst = _workload(args)
     checks = verify_paper_claims(inst, power, machines=args.machines)
     table = render_claims(checks)
-    verdict = "ALL CLAIMS HOLD" if all(c.holds for c in checks) else "SOME CLAIMS FAILED"
-    return table + f"\n\n{verdict} ({sum(c.holds for c in checks)}/{len(checks)})"
+    ok = all(c.holds for c in checks)
+    verdict = "ALL CLAIMS HOLD" if ok else "SOME CLAIMS FAILED"
+    return (
+        table + f"\n\n{verdict} ({sum(c.holds for c in checks)}/{len(checks)})",
+        0 if ok else 1,
+    )
+
+
+def _cmd_chaos(args: argparse.Namespace) -> tuple[str, int]:
+    from .runtime.chaos import format_campaign, run_campaign
+
+    report = run_campaign(
+        args.seed,
+        args.n,
+        jobs=args.jobs,
+        alpha=args.alpha,
+        machines=args.machines,
+        out=args.out,
+    )
+    text = format_campaign(report)
+    if args.out:
+        text += f"\n\ntraces written to {args.out}"
+    return text, 0 if report.ok else 1
 
 
 def _cmd_trace(args: argparse.Namespace) -> str:
@@ -327,13 +362,19 @@ _DISPATCH = {
     "figures": _cmd_figures,
     "lower-bound": _cmd_lower_bound,
     "cluster": _cmd_cluster,
+    "chaos": _cmd_chaos,
 }
 
 
 def main(argv: Sequence[str] | None = None) -> int:
+    """Run one command.  Handlers return either a string (exit 0) or a
+    ``(text, exit_code)`` pair — ``verify`` and ``chaos`` use the latter to
+    fail loudly when a checked claim does."""
     args = build_parser().parse_args(argv)
-    print(_DISPATCH[args.command](args))
-    return 0
+    out = _DISPATCH[args.command](args)
+    text, code = out if isinstance(out, tuple) else (out, 0)
+    print(text)
+    return code
 
 
 if __name__ == "__main__":

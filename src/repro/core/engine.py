@@ -124,11 +124,13 @@ class NumericEngine:
 
     def run(self, instance: Instance, policy: SchedulingPolicy) -> EngineResult:
         context = self._context if self._context is not None else SimulationContext(self.power)
-        oracle = VolumeOracle(instance)
+        factory = context.oracle_factory
+        oracle = VolumeOracle(instance) if factory is None else factory(instance)
         context.oracle = oracle
         policy.bind(context)
         recorder = context.recorder
         rec = recorder if recorder.enabled else None  # zero-overhead hoist
+        interceptor = context.step_interceptor  # fault hook; None when unfaulted
         releases = list(oracle.releases())  # FIFO order
         next_release = 0
         processed: dict[int, float] = {}
@@ -165,7 +167,9 @@ class NumericEngine:
             if steps > self.stall_limit + len(releases):
                 raise SimulationError(
                     f"engine exceeded {steps} steps at t={t}; "
-                    "policy likely stalled at zero speed"
+                    "policy likely stalled at zero speed",
+                    time=t,
+                    steps=steps,
                 )
             if not active:
                 # Idle until the next release.
@@ -183,13 +187,17 @@ class NumericEngine:
                 # Policy idles despite active jobs (legal, e.g. A_int).
                 t_next = min(horizon, t + self.max_step)
                 if not math.isfinite(t_next):
-                    raise SimulationError(f"policy idles forever with active jobs at t={t}")
+                    raise SimulationError(
+                        f"policy idles forever with active jobs at t={t}", time=t
+                    )
                 builder.append(ConstantSegment(t, t_next, None, 0.0))
                 t = t_next
                 fire_releases(t)
                 continue
             if job_id not in active:
-                raise SimulationError(f"policy selected inactive job {job_id} at t={t}")
+                raise SimulationError(
+                    f"policy selected inactive job {job_id} at t={t}", time=t, job=job_id
+                )
 
             # Geometric step ramp: restart small after each event, double up
             # to max_step.  The floor respects float resolution at large t.
@@ -210,7 +218,12 @@ class NumericEngine:
             probe[job_id] = min(processed[job_id] + s0 * h / 2.0, true_volume)
             s_mid = policy.speed(t + h / 2.0, probe)
             if s_mid < 0 or not math.isfinite(s_mid):
-                raise SimulationError(f"policy returned invalid speed {s_mid} at t={t}")
+                raise SimulationError(
+                    f"policy returned invalid speed {s_mid} at t={t}",
+                    time=t,
+                    job=job_id,
+                    speed=s_mid,
+                )
             if s_mid <= 0.0 < s0:
                 # The half-step probe already finished the job, so the
                 # midpoint sees an empty machine; the step straddles the
@@ -222,7 +235,12 @@ class NumericEngine:
                 if rec is not None:
                     rec.emit("stall_guard_tick", t, "engine", stall=stall, limit=self.stall_limit)
                 if stall > self.stall_limit:
-                    raise SimulationError(f"policy stalled at zero speed near t={t}")
+                    raise SimulationError(
+                        f"policy stalled at zero speed near t={t}",
+                        time=t,
+                        job=job_id,
+                        stall_steps=stall,
+                    )
                 builder.append(ConstantSegment(t, t + h, None, 0.0))
                 t += h
                 fire_releases(t)
@@ -238,19 +256,33 @@ class NumericEngine:
             room = true_volume - processed[job_id]
             if s_mid * h >= room - 1e-15 * max(1.0, true_volume):
                 # Completion inside this step: cut the step at the crossing.
-                dt = room / s_mid
+                # ``room`` is positive on the unfaulted path; the floor at 0
+                # keeps a corrupted processed volume from producing a
+                # backwards segment.
+                dt = max(room, 0.0) / s_mid
                 builder.append(ConstantSegment(t, t + dt, job_id, s_mid))
                 processed[job_id] = true_volume
                 t += dt
                 t_phase = t
                 active.discard(job_id)
                 oracle._mark_completed(job_id)
-                policy.on_completion(t, job_id, true_volume)
+                policy.on_completion(t, job_id, oracle._reveal_on_completion(job_id))
                 if rec is not None:
                     rec.emit("completion", t, "engine", job=job_id, volume=true_volume)
             else:
                 builder.append(ConstantSegment(t, t + h, job_id, s_mid))
                 processed[job_id] += s_mid * h
+                if interceptor is not None:
+                    corrupted = interceptor(t + h, job_id, processed[job_id])
+                    if not math.isfinite(corrupted) or corrupted < 0.0:
+                        raise SimulationError(
+                            f"processed volume of job {job_id} corrupted to "
+                            f"{corrupted} at t={t + h}",
+                            time=t + h,
+                            job=job_id,
+                            value=corrupted,
+                        )
+                    processed[job_id] = corrupted
                 t += h
             fire_releases(t)
 

@@ -78,6 +78,12 @@ class VolumeOracle:
     def _true_volume(self, job_id: int) -> float:
         return self._instance[job_id].volume
 
+    def _reveal_on_completion(self, job_id: int) -> float:
+        """The volume the simulator reports to a policy at the completion
+        instant.  The base oracle reveals the truth; fault injectors override
+        this to lie (:class:`repro.faults.injector.FaultyVolumeOracle`)."""
+        return self._instance[job_id].volume
+
     def _mark_completed(self, job_id: int) -> None:
         if job_id in self._completed:
             raise ClairvoyanceViolationError(f"job {job_id} completed twice")

@@ -51,6 +51,7 @@ from .tracing import NULL_RECORDER, MetricsRegistry, TraceRecorder
 __all__ = [
     "ShadowCounters",
     "ShadowCheckpoint",
+    "ContextCheckpoint",
     "ClairvoyantShadow",
     "PrefixWeightOracle",
     "SimulationContext",
@@ -138,6 +139,22 @@ class ShadowCheckpoint:
     clock: float
     remaining: tuple[tuple[int, float], ...]
     pending: tuple[tuple[float, int, float, float], ...]
+
+
+@dataclass(frozen=True)
+class ContextCheckpoint:
+    """Snapshot of a :class:`SimulationContext`'s mutable run state.
+
+    Extends the shadow-layer checkpoint idea to the whole context: the
+    supervisor (:mod:`repro.runtime.supervisor`) takes one before every
+    attempt and restores it before a retry, so counters and metrics from the
+    failed attempt do not leak into the retried run and the empty-fault-plan
+    supervised path stays bit-identical to an unsupervised run.
+    """
+
+    label: str
+    sim_time: float
+    metrics: tuple[tuple[str, int | float], ...]
 
 
 class ClairvoyantShadow:
@@ -807,6 +824,44 @@ class SimulationContext:
         self.metrics = self.counters.registry
         self.recorder: TraceRecorder = recorder if recorder is not None else NULL_RECORDER
         self.oracle = None  # set by the engine at run start
+        #: fault-injection hooks, wired by :mod:`repro.faults`.  All default
+        #: to inert (``None``) so an unfaulted run pays one attribute read.
+        #: ``oracle_factory`` lets the engine build a (possibly faulty)
+        #: oracle; ``volume_filter`` perturbs volumes revealed to analytic
+        #: NC simulators; ``step_interceptor`` corrupts the engine's
+        #: per-step processed volume.
+        self.oracle_factory: Callable[[Any], Any] | None = None
+        self.volume_filter: Callable[[int, float], float] | None = None
+        self.step_interceptor: Callable[[float, int, float], float] | None = None
+
+    def reveal_volume(self, job_id: int, volume: float) -> float:
+        """Route a completed job's volume reveal through the fault filter.
+
+        Identity when no :attr:`volume_filter` is installed — the analytic
+        simulators call this at every completion, so the no-fault path must
+        return ``volume`` unchanged (same float object, bit-identical)."""
+        f = self.volume_filter
+        return volume if f is None else f(job_id, volume)
+
+    # -- checkpoint / restore (supervised runtime) ---------------------------
+
+    def checkpoint(self, label: str = "", sim_time: float = 0.0) -> ContextCheckpoint:
+        """Snapshot the context's metrics substrate (counters included,
+        since :class:`ShadowCounters` is a view over it).  Deliberately does
+        not bump any counter: taking a checkpoint must leave the run's
+        observable state untouched."""
+        return ContextCheckpoint(
+            label=label,
+            sim_time=float(sim_time),
+            metrics=tuple(self.metrics.values.items()),
+        )
+
+    def restore(self, ckpt: ContextCheckpoint) -> None:
+        """Restore a :meth:`checkpoint` snapshot in place (the counters view
+        stays coherent because the registry dict is mutated, not replaced)."""
+        self.metrics.values.clear()
+        self.metrics.values.update(dict(ckpt.metrics))
+        self.oracle = None
 
     def emit(self, kind: str, sim_time: float, component: str, **payload: Any) -> None:
         """Guarded convenience emit — a no-op when tracing is off.

@@ -42,9 +42,10 @@ Ordering contract
 
 Within one ``(component, kind)`` stream, events are emitted in nondecreasing
 ``sim_time`` order — except across a ``shadow_rollback`` / ``shadow_rebuild``
-boundary, which by construction rewinds the emitting component's clock (the
-whole point of those events is to mark exactly where time was rewound).
-``tests/test_tracing.py`` enforces this.
+/ ``retry`` boundary, which by construction rewinds the emitting component's
+clock (the whole point of those events is to mark exactly where time was
+rewound; ``retry`` is the supervisor restarting a failed attempt from a
+checkpoint).  ``tests/test_tracing.py`` enforces this.
 """
 
 from __future__ import annotations
@@ -69,7 +70,11 @@ __all__ = [
 
 #: The closed set of event kinds.  ``run_meta`` is the self-description header
 #: a harness writes before a traced run (instance, alpha, algorithm) so a
-#: JSONL trace is replayable without out-of-band context.
+#: JSONL trace is replayable without out-of-band context.  The last five are
+#: the robustness layer's: ``fault_injected`` marks every firing of a
+#: :mod:`repro.faults` injector, and ``guard_violation`` / ``retry`` /
+#: ``recovery`` / ``degraded_mode`` narrate the supervisor's response
+#: (:mod:`repro.runtime.supervisor`).
 EVENT_KINDS = frozenset(
     {
         "run_meta",
@@ -82,6 +87,11 @@ EVENT_KINDS = frozenset(
         "shadow_rebuild",
         "density_class_switch",
         "stall_guard_tick",
+        "fault_injected",
+        "guard_violation",
+        "retry",
+        "recovery",
+        "degraded_mode",
     }
 )
 

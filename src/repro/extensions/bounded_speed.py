@@ -177,6 +177,7 @@ def simulate_nc_uniform_capped(
     oracle = context.prefix_oracle(component="NC_capped.prefix")
     recorder = context.recorder
     rec = recorder if recorder.enabled else None  # zero-overhead hoist
+    filt = context.volume_filter  # fault reveal channel; None when unfaulted
     jobs = list(instance.jobs)
     revealed = 0
     builder = ScheduleBuilder()
@@ -186,7 +187,17 @@ def simulate_nc_uniform_capped(
         rho = job.density
         while revealed < len(jobs) and jobs[revealed].release < job.release:
             prev = jobs[revealed]
-            oracle.add_job(prev.job_id, prev.release, prev.density, prev.volume)
+            vol = prev.volume
+            if filt is not None:
+                vol = filt(prev.job_id, vol)
+                if not (math.isfinite(vol) and vol > 0.0):
+                    raise SimulationError(
+                        f"revealed volume of job {prev.job_id} corrupted to {vol}",
+                        time=job.release,
+                        job=prev.job_id,
+                        value=vol,
+                    )
+            oracle.add_job(prev.job_id, prev.release, prev.density, vol)
             revealed += 1
         offset = oracle.weight_at(job.release) if revealed else 0.0
 

@@ -1,0 +1,406 @@
+"""Fault injectors: interpret a :class:`~repro.faults.plan.FaultPlan` against
+a concrete run.
+
+One :class:`FaultInjector` is created per supervised run and *shared across
+retry attempts*: firing budgets (``FaultSpec.max_firings``) persist, so a
+transient fault that fired on attempt 1 stays quiet on attempt 2 — which is
+exactly what makes it transient.  Every firing is emitted as a typed
+``fault_injected`` trace event through the run's
+:class:`~repro.core.shadow.SimulationContext`, so chaos reports can
+reconstruct the full fault timeline from the trace alone.
+
+Injection channels
+------------------
+
+* instance perturbation — ``release_jitter`` / ``release_duplicate`` /
+  ``release_drop`` rewrite the instance before a run starts
+  (:meth:`FaultInjector.perturb_instance`);
+* volume reveals — ``oracle_lie`` wraps both reveal paths: the analytic
+  simulators' ``context.volume_filter`` and the engine's
+  :class:`FaultyVolumeOracle` (via ``context.oracle_factory``);
+* power queries — ``power_transient`` / ``power_nan`` wrap the power function
+  in a :class:`FlakyPowerFunction` (:meth:`FaultInjector.wrap_power`);
+* engine steps — ``step_corruption`` installs ``context.step_interceptor``;
+* machines — ``machine_failure`` drives
+  :func:`simulate_nc_par_with_failure`, the lost-work failover model.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import random
+from typing import Callable
+
+from ..core.errors import ConvergenceError, InvalidInstanceError, SimulationError
+from ..core.job import Instance, Job
+from ..core.kernels import growth_time_between
+from ..core.oracle import VolumeOracle
+from ..core.power import PowerLaw
+from ..core.schedule import GrowthSegment, ScheduleBuilder
+from ..core.shadow import SimulationContext
+from ..parallel.cluster import ClusterRun
+from .plan import INSTANCE_KINDS, FaultPlan, FaultSpec
+
+__all__ = [
+    "FaultInjector",
+    "FaultyVolumeOracle",
+    "FlakyPowerFunction",
+    "simulate_nc_par_with_failure",
+]
+
+
+class FaultyVolumeOracle(VolumeOracle):
+    """A :class:`VolumeOracle` whose completion-time reveals can lie.
+
+    The engine's trusted accessors (``_true_volume``, ``_mark_completed``)
+    stay honest — physics is not negotiable — but the volume *reported to the
+    policy* at the completion instant goes through the injector's lie filter,
+    modelling a telemetry channel that mis-reports how much work a finished
+    job contained.
+    """
+
+    def __init__(
+        self, instance: Instance, lie: Callable[[int, float], float]
+    ) -> None:
+        super().__init__(instance)
+        self._lie = lie
+
+    def _reveal_on_completion(self, job_id: int) -> float:
+        return self._lie(job_id, self._instance[job_id].volume)
+
+
+class FlakyPowerFunction(PowerLaw):
+    """A :class:`PowerLaw` whose ``speed`` query transiently fails.
+
+    Counts ``speed`` calls; on the scheduled call it either raises
+    :class:`~repro.core.errors.ConvergenceError` (mode ``power_transient``)
+    or returns NaN (mode ``power_nan`` — which the engine converts into a
+    structured ``SimulationError``, never a silent NaN schedule).  The call
+    counter lives on the *injector* budget, so a retry does not re-trip the
+    same fault.
+    """
+
+    __slots__ = ("_on_speed",)
+
+    def __init__(
+        self, alpha: float, on_speed: Callable[[float], float | None]
+    ) -> None:
+        super().__init__(alpha)
+        self._on_speed = on_speed
+
+    def speed(self, power_value: float) -> float:
+        override = self._on_speed(power_value)
+        if override is not None:
+            return override
+        return super().speed(power_value)
+
+
+class FaultInjector:
+    """Stateful interpreter of a :class:`FaultPlan` for one supervised run.
+
+    ``install`` wires the context hooks; ``perturb_instance`` /
+    ``wrap_power`` transform the run inputs.  ``fired`` records every firing
+    as ``(spec, sim_time)`` in order, for reports and assertions.
+    """
+
+    def __init__(
+        self,
+        plan: FaultPlan,
+        context: SimulationContext,
+        *,
+        component: str = "faults",
+    ) -> None:
+        self.plan = plan
+        self.context = context
+        self.component = component
+        self.fired: list[tuple[FaultSpec, float]] = []
+        self._budget: dict[int, int] = {
+            i: spec.max_firings for i, spec in enumerate(plan.faults)
+        }
+        self._power_calls = 0
+        self._sim_time = 0.0  # best-effort clock for call-triggered faults
+
+    # -- bookkeeping ----------------------------------------------------------
+
+    def _armed(self, *kinds: str) -> list[tuple[int, FaultSpec]]:
+        return [
+            (i, spec)
+            for i, spec in enumerate(self.plan.faults)
+            if spec.kind in kinds and self._budget[i] > 0
+        ]
+
+    def _fire(self, index: int, spec: FaultSpec, sim_time: float, **extra: object) -> None:
+        self._budget[index] -= 1
+        self.fired.append((spec, sim_time))
+        self.context.metrics.increment("faults_fired")
+        payload = spec.as_payload()
+        payload.update(extra)
+        self.context.emit("fault_injected", sim_time, self.component, **payload)
+
+    @property
+    def exhausted(self) -> bool:
+        """True when no fault can fire any more (retries will run clean)."""
+        return all(b <= 0 for b in self._budget.values())
+
+    def armed_specs(self, *kinds: str) -> tuple[FaultSpec, ...]:
+        """The still-armed specs of the given kinds (budget not yet spent)."""
+        return tuple(spec for _, spec in self._armed(*kinds))
+
+    def fire_external(self, kind: str, sim_time: float, **extra: object) -> None:
+        """Consume the first armed spec of ``kind`` for a fault realised by
+        external machinery (e.g. the machine-failure failover simulator),
+        emitting the usual ``fault_injected`` event and spending its budget."""
+        for index, spec in self._armed(kind):
+            self._fire(index, spec, sim_time, **extra)
+            return
+
+    # -- channel: instance perturbation ---------------------------------------
+
+    def perturb_instance(self, instance: Instance) -> Instance:
+        """Apply release-stream faults, rebuilding the instance.
+
+        ``release_jitter`` shifts a release by ``magnitude`` (floored at 0);
+        ``release_duplicate`` injects a phantom copy under a fresh job id;
+        ``release_drop`` removes a job — the drop consumes its budget, so the
+        supervisor's retry sees the job again (drop-and-retry).
+        """
+        specs = self._armed(*INSTANCE_KINDS)
+        if not specs:
+            return instance
+        jobs = list(instance.jobs)
+        next_id = max(j.job_id for j in jobs) + 1 if jobs else 0
+        for index, spec in specs:
+            target = self._pick_job(spec, jobs)
+            if target is None:
+                continue
+            if spec.kind == "release_jitter":
+                shifted = max(0.0, target.release + spec.magnitude)
+                jobs = [
+                    Job(j.job_id, shifted, j.volume, j.density)
+                    if j.job_id == target.job_id
+                    else j
+                    for j in jobs
+                ]
+                self._fire(index, spec, shifted, target=target.job_id)
+            elif spec.kind == "release_duplicate":
+                phantom = Job(next_id, target.release, target.volume, target.density)
+                jobs.append(phantom)
+                self._fire(
+                    index, spec, target.release, target=target.job_id, phantom=next_id
+                )
+                next_id += 1
+            elif spec.kind == "release_drop":
+                if len(jobs) <= 1:
+                    continue  # dropping the only job makes the run vacuous
+                jobs = [j for j in jobs if j.job_id != target.job_id]
+                self._fire(index, spec, target.release, target=target.job_id)
+        return Instance(jobs)
+
+    @staticmethod
+    def _pick_job(spec: FaultSpec, jobs: list[Job]) -> Job | None:
+        if not jobs:
+            return None
+        if spec.job_id is not None:
+            for j in jobs:
+                if j.job_id == spec.job_id:
+                    return j
+            return jobs[spec.job_id % len(jobs)]
+        return jobs[0]
+
+    # -- channel: volume reveals ----------------------------------------------
+
+    def _lie(self, job_id: int, volume: float) -> float:
+        for index, spec in self._armed("oracle_lie"):
+            if spec.job_id is not None and spec.job_id != job_id:
+                continue
+            if spec.mode == "withhold":
+                self._fire(index, spec, self._sim_time, target=job_id)
+                raise SimulationError(
+                    f"volume reveal for job {job_id} withheld by fault injection",
+                    time=self._sim_time,
+                    job=job_id,
+                    fault=spec.describe(),
+                )
+            if spec.mode == "nan":
+                self._fire(index, spec, self._sim_time, target=job_id)
+                return math.nan
+            self._fire(index, spec, self._sim_time, target=job_id)
+            return volume * (1.0 + spec.magnitude)
+        return volume
+
+    # -- channel: power queries -----------------------------------------------
+
+    def wrap_power(self, power: PowerLaw) -> PowerLaw:
+        """Wrap ``power`` in a :class:`FlakyPowerFunction` if any power fault
+        is planned (otherwise return it untouched, so the unfaulted path uses
+        the exact same object)."""
+        if not self._armed("power_transient", "power_nan"):
+            return power
+
+        def on_speed(power_value: float) -> float | None:
+            self._power_calls += 1
+            for index, spec in self._armed("power_transient", "power_nan"):
+                if self._power_calls < max(spec.after_calls, 1):
+                    continue
+                self._fire(index, spec, self._sim_time, call=self._power_calls)
+                if spec.kind == "power_transient":
+                    raise ConvergenceError(
+                        "power function failed to converge (injected)",
+                        time=self._sim_time,
+                        call=self._power_calls,
+                        fault=spec.describe(),
+                    )
+                return math.nan
+            return None
+
+        return FlakyPowerFunction(power.alpha, on_speed)
+
+    # -- channel: engine steps ------------------------------------------------
+
+    def _intercept_step(self, t: float, job_id: int, processed: float) -> float:
+        self._sim_time = t
+        for index, spec in self._armed("step_corruption"):
+            if spec.job_id is not None and spec.job_id != job_id:
+                continue
+            if spec.at_time is not None and t < spec.at_time:
+                continue
+            rng = random.Random(self.plan.seed * 1_000_003 + index * 8191 + job_id)
+            noise = spec.magnitude * (2.0 * rng.random() - 1.0)
+            self._fire(index, spec, t, target=job_id, noise=noise)
+            return processed * (1.0 + noise)
+        return processed
+
+    # -- wiring ---------------------------------------------------------------
+
+    def install(self) -> None:
+        """Wire this injector's channels into the context.
+
+        Only channels the plan actually uses are installed — an empty plan
+        leaves every hook ``None``, keeping the unfaulted path bit-identical
+        to a context that never met an injector.
+        """
+        ctx = self.context
+        if self.plan.of_kind("oracle_lie"):
+            ctx.volume_filter = self._lie
+            ctx.oracle_factory = lambda inst: FaultyVolumeOracle(inst, self._lie)
+        if self.plan.of_kind("step_corruption"):
+            ctx.step_interceptor = self._intercept_step
+
+    def uninstall(self) -> None:
+        ctx = self.context
+        ctx.volume_filter = None
+        ctx.oracle_factory = None
+        ctx.step_interceptor = None
+
+
+def simulate_nc_par_with_failure(
+    instance: Instance,
+    power: PowerLaw,
+    machines: int,
+    *,
+    dead_machine: int,
+    fail_time: float,
+    context: SimulationContext | None = None,
+    injector: FaultInjector | None = None,
+) -> ClusterRun:
+    """NC-PAR under the lost-work machine-failure model.
+
+    Machine ``dead_machine`` dies at ``fail_time``: a job whose processing on
+    it would extend past the failure is killed there (its partial work is
+    lost and *not* recorded — the surviving schedule alone must account for
+    its full volume) and re-enters the global FIFO queue at
+    ``max(release, fail_time)``; after the failure the machine accepts
+    nothing.  Emits a ``fault_injected`` event at the kill and a ``recovery``
+    event when the last re-released job lands on a survivor.
+    """
+    if machines < 2:
+        raise InvalidInstanceError("machine failure needs at least 2 machines")
+    if not 0 <= dead_machine < machines:
+        raise InvalidInstanceError(f"dead_machine {dead_machine} out of range")
+    if not instance.is_uniform_density():
+        raise InvalidInstanceError("NC-PAR (§6) is defined for uniform densities")
+    if context is None:
+        context = SimulationContext(power)
+    alpha = power.alpha
+    survivors = [i for i in range(machines) if i != dead_machine]
+    free = [0.0] * machines
+    assignments: dict[int, list[int]] = {i: [] for i in range(machines)}
+    builders = {i: ScheduleBuilder() for i in range(machines)}
+    oracles = [
+        context.prefix_oracle(component=f"nc_par.m{i}.prefix") for i in range(machines)
+    ]
+    dead_alive = True
+    requeued: list[int] = []
+
+    def mark_dead(job_id: int | None) -> None:
+        # First moment the failure takes effect (mid-flight kill or
+        # dead-on-arrival): record it exactly once, through the injector's
+        # budget when one is attached.
+        context.metrics.increment("machine_failures")
+        if injector is not None:
+            injector.fire_external(
+                "machine_failure", fail_time, machine=dead_machine, job=job_id
+            )
+        else:
+            context.emit(
+                "fault_injected",
+                fail_time,
+                "faults",
+                fault="machine_failure",
+                machine=dead_machine,
+                job=job_id,
+                at_time=fail_time,
+            )
+
+    todo: list[tuple[float, int, Job]] = [(j.release, j.job_id, j) for j in instance]
+    heapq.heapify(todo)
+    while todo:
+        rel_eff, _, job = heapq.heappop(todo)
+        cands = list(range(machines)) if dead_alive else survivors
+        idle = [i for i in cands if free[i] <= rel_eff]
+        chosen = min(idle) if idle else min(cands, key=lambda i: (free[i], i))
+        start = max(rel_eff, free[chosen])
+        if chosen == dead_machine and start >= fail_time:
+            # Found dead on arrival: requeue among survivors only.
+            dead_alive = False
+            free[dead_machine] = math.inf
+            mark_dead(None)
+            heapq.heappush(todo, (rel_eff, job.job_id, job))
+            continue
+        offset = oracles[chosen].weight_at(rel_eff) if assignments[chosen] else 0.0
+        tau = growth_time_between(offset, offset + job.weight, job.density, alpha)
+        if chosen == dead_machine and start + tau > fail_time:
+            # Killed mid-flight: lost work, machine gone, job re-released.
+            dead_alive = False
+            free[dead_machine] = math.inf
+            requeued.append(job.job_id)
+            mark_dead(job.job_id)
+            heapq.heappush(
+                todo, (max(job.release, fail_time), job.job_id, job)
+            )
+            continue
+        builders[chosen].append(
+            GrowthSegment(start, start + tau, job.job_id, offset, job.density, alpha)
+        )
+        assignments[chosen].append(job.job_id)
+        oracles[chosen].add_job(job.job_id, rel_eff, job.density, job.volume)
+        free[chosen] = start + tau
+        if requeued and job.job_id == requeued[-1]:
+            context.emit(
+                "recovery",
+                start + tau,
+                "faults",
+                action="machine_failover",
+                job=job.job_id,
+                machine=chosen,
+                from_machine=dead_machine,
+            )
+    schedules = {i: builders[i].build() for i in range(machines) if assignments[i]}
+    return ClusterRun(
+        instance=instance,
+        power=power,
+        machines=machines,
+        assignments=assignments,
+        schedules=schedules,
+    )

@@ -1,0 +1,196 @@
+"""Deterministic, seeded fault plans.
+
+A *fault plan* is data, not behaviour: an immutable list of
+:class:`FaultSpec` records saying what goes wrong, where, and when.  The
+injectors in :mod:`repro.faults.injector` interpret a plan against a concrete
+run; the supervisor (:mod:`repro.runtime.supervisor`) retries against the
+*same* injector state, so a transient fault (``max_firings`` exhausted)
+does not re-fire on the retried attempt — that is the transient-fault model.
+
+Plans are generated from a seed via :func:`generate_plan`, so a chaos
+campaign (``repro chaos``) is reproducible end to end: same seed, same
+faults, same recovery story.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+__all__ = ["FAULT_KINDS", "FaultSpec", "FaultPlan", "generate_plan"]
+
+#: The closed set of fault kinds the injectors understand.
+#:
+#: ``oracle_lie``        — a completed job's revealed volume is perturbed
+#:                         (mode ``scale``), replaced by NaN (``nan``), or the
+#:                         reveal raises (``withhold``).
+#: ``release_jitter``    — a job's release time is shifted by ``magnitude``.
+#: ``release_duplicate`` — a phantom copy of a job is injected into the
+#:                         release stream.
+#: ``release_drop``      — a job is dropped from the stream; the supervisor's
+#:                         retry restores it (drop-and-retry semantics).
+#: ``power_transient``   — the power function raises ``ConvergenceError`` on
+#:                         its n-th speed query.
+#: ``power_nan``         — the power function returns NaN on its n-th query.
+#: ``step_corruption``   — float noise on the engine's processed volume.
+#: ``machine_failure``   — a parallel machine dies at ``at_time``; its
+#:                         unfinished jobs re-release on the survivors.
+FAULT_KINDS = frozenset(
+    {
+        "oracle_lie",
+        "release_jitter",
+        "release_duplicate",
+        "release_drop",
+        "power_transient",
+        "power_nan",
+        "step_corruption",
+        "machine_failure",
+    }
+)
+
+#: Kinds that perturb the instance itself (resolved before a run starts).
+INSTANCE_KINDS = frozenset({"release_jitter", "release_duplicate", "release_drop"})
+
+#: Kinds that fire during a run and stop firing once ``max_firings`` is spent
+#: — the faults a retry can survive without any plan change.
+TRANSIENT_KINDS = frozenset(
+    {"oracle_lie", "power_transient", "power_nan", "step_corruption", "release_drop"}
+)
+
+
+@dataclass(frozen=True, slots=True)
+class FaultSpec:
+    """One scheduled fault.
+
+    ``job_id`` / ``machine`` select the target where that makes sense
+    (``None`` = first eligible).  ``at_time`` gates time-triggered kinds;
+    ``after_calls`` gates call-count-triggered kinds (the n-th oracle reveal
+    or power query fires the fault).  ``magnitude`` scales the perturbation;
+    ``mode`` refines the kind (see :data:`FAULT_KINDS`).  ``max_firings``
+    bounds how often the fault fires across *all* attempts of a supervised
+    run — the default of 1 makes every fault transient.
+    """
+
+    kind: str
+    job_id: int | None = None
+    machine: int | None = None
+    at_time: float | None = None
+    after_calls: int = 0
+    magnitude: float = 0.5
+    mode: str = "scale"
+    max_firings: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if self.max_firings < 1:
+            raise ValueError(f"max_firings must be >= 1, got {self.max_firings}")
+        if self.after_calls < 0:
+            raise ValueError(f"after_calls must be >= 0, got {self.after_calls}")
+
+    def describe(self) -> str:
+        parts = [self.kind]
+        if self.mode != "scale":
+            parts.append(f"mode={self.mode}")
+        if self.job_id is not None:
+            parts.append(f"job={self.job_id}")
+        if self.machine is not None:
+            parts.append(f"machine={self.machine}")
+        if self.at_time is not None:
+            parts.append(f"t={self.at_time:.4g}")
+        if self.after_calls:
+            parts.append(f"after={self.after_calls}")
+        return " ".join(parts)
+
+    def as_payload(self) -> dict[str, object]:
+        """JSON-representable form for ``fault_injected`` trace payloads.
+
+        The spec's kind is keyed ``fault`` (the payload rides inside a trace
+        event whose own ``kind`` is ``fault_injected``)."""
+        return {
+            "fault": self.kind,
+            "job": self.job_id,
+            "machine": self.machine,
+            "at_time": self.at_time,
+            "after_calls": self.after_calls,
+            "magnitude": self.magnitude,
+            "mode": self.mode,
+        }
+
+
+@dataclass(frozen=True, slots=True)
+class FaultPlan:
+    """An immutable, seeded collection of :class:`FaultSpec` s."""
+
+    seed: int
+    faults: tuple[FaultSpec, ...] = field(default=())
+
+    @classmethod
+    def empty(cls, seed: int = 0) -> "FaultPlan":
+        return cls(seed=seed, faults=())
+
+    def of_kind(self, *kinds: str) -> tuple[FaultSpec, ...]:
+        return tuple(f for f in self.faults if f.kind in kinds)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.faults
+
+    def describe(self) -> str:
+        if not self.faults:
+            return f"plan(seed={self.seed}): no faults"
+        inner = "; ".join(f.describe() for f in self.faults)
+        return f"plan(seed={self.seed}): {inner}"
+
+
+def generate_plan(
+    seed: int,
+    *,
+    n_faults: int = 1,
+    kinds: tuple[str, ...] | None = None,
+    n_jobs: int | None = None,
+    machines: int | None = None,
+    horizon: float = 2.0,
+    transient_only: bool = True,
+) -> FaultPlan:
+    """Draw a deterministic fault plan from ``seed``.
+
+    ``kinds`` restricts the pool (default: every transient kind when
+    ``transient_only``, else every kind applicable to the run shape).
+    ``n_jobs`` / ``machines`` bound the drawn targets; ``horizon`` bounds
+    ``at_time`` draws.  Same arguments, same plan — always.
+    """
+    rng = random.Random(seed)
+    if kinds is None:
+        pool = tuple(sorted(TRANSIENT_KINDS if transient_only else FAULT_KINDS))
+    else:
+        for k in kinds:
+            if k not in FAULT_KINDS:
+                raise ValueError(f"unknown fault kind {k!r}")
+        pool = kinds
+    faults = []
+    for _ in range(n_faults):
+        kind = rng.choice(pool)
+        job_id = rng.randrange(n_jobs) if n_jobs else None
+        machine = rng.randrange(machines) if (machines and kind == "machine_failure") else None
+        at_time = rng.uniform(0.0, horizon) if kind in ("machine_failure",) else None
+        after_calls = rng.randrange(1, 6) if kind in ("power_transient", "power_nan") else 0
+        if kind == "oracle_lie":
+            mode = rng.choice(("scale", "nan", "withhold"))
+        elif kind == "release_jitter":
+            mode = "shift"
+        else:
+            mode = "scale"
+        magnitude = rng.uniform(0.1, 0.9)
+        faults.append(
+            FaultSpec(
+                kind=kind,
+                job_id=job_id,
+                machine=machine,
+                at_time=at_time,
+                after_calls=after_calls,
+                magnitude=magnitude,
+                mode=mode,
+            )
+        )
+    return FaultPlan(seed=seed, faults=tuple(faults))

@@ -214,7 +214,12 @@ def fractional_lower_bound(
     dual = float(np.sum(lam * volumes) + f0 + np.sum(delta * inner))
 
     if not math.isfinite(dual):
-        raise ConvergenceError("dual value is not finite; adjust horizon/slots")
+        raise ConvergenceError(
+            "dual value is not finite; adjust horizon/slots",
+            horizon=horizon,
+            slots=slots,
+            value=dual,
+        )
     return ConvexBound(
         dual_value=dual,
         primal_value=best_val,

@@ -8,7 +8,7 @@ single-machine machinery and merged.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from ..core.errors import ScheduleError
 from ..core.job import Instance
@@ -30,17 +30,25 @@ class ClusterRun:
     assignments: dict[int, list[int]]
     #: machine index -> that machine's schedule
     schedules: dict[int, Schedule]
+    #: job id -> machine index, precomputed in ``__post_init__``
+    _machine_by_job: dict[int, int] = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         assigned = [j for jobs in self.assignments.values() for j in jobs]
         if sorted(assigned) != sorted(self.instance.job_ids):
             raise ScheduleError("assignments must partition the instance's jobs")
+        # Reverse map for machine_of: dispatch evaluation calls it per job in
+        # a loop, so the lookup must not rescan every assignment list.
+        reverse = {
+            j: machine for machine, jobs in self.assignments.items() for j in jobs
+        }
+        object.__setattr__(self, "_machine_by_job", reverse)
 
     def machine_of(self, job_id: int) -> int:
-        for machine, jobs in self.assignments.items():
-            if job_id in jobs:
-                return machine
-        raise KeyError(f"job {job_id} not assigned")
+        machine = self._machine_by_job.get(job_id)
+        if machine is None:
+            raise KeyError(f"job {job_id} not assigned")
+        return machine
 
     def machine_instance(self, machine: int) -> Instance | None:
         jobs = self.assignments.get(machine, [])

@@ -83,19 +83,32 @@ def simulate_immediate_dispatch(
     rule: str | DispatchRule = "least_count",
     per_machine: Literal["C", "NC"] = "C",
     context: SimulationContext | None = None,
+    exclude_machines: frozenset[int] | set[int] | None = None,
 ) -> ClusterRun:
     """Dispatch with a volume-oblivious rule, then run each machine's jobs
     with Algorithm C (``per_machine='C'``) or Algorithm NC (``'NC'``, uniform
     densities only).  ``context`` — if given — routes per-machine shadow
     counters and trace events (one ``release`` per dispatch decision,
-    component ``"dispatch"``) through its recorder."""
+    component ``"dispatch"``) through its recorder.
+
+    ``exclude_machines`` marks machines known-dead at dispatch time (the
+    machine-failure fault model of :mod:`repro.faults`): the rule still sees
+    the full machine count, but any assignment landing on a dead machine is
+    remapped to the next surviving index, preserving the rule's determinism.
+    """
     if machines < 1:
         raise InvalidInstanceError(f"machines must be >= 1, got {machines}")
+    excluded = frozenset(exclude_machines) if exclude_machines else frozenset()
+    survivors = [i for i in range(machines) if i not in excluded]
+    if not survivors:
+        raise InvalidInstanceError("exclude_machines leaves no machine alive")
     rule_fn = DISPATCH_RULES[rule] if isinstance(rule, str) else rule
     job_ids = list(instance.job_ids)
     targets = rule_fn(machines, job_ids)
     if len(targets) != len(job_ids) or any(not 0 <= m < machines for m in targets):
         raise InvalidInstanceError("dispatch rule returned an invalid assignment")
+    if excluded:
+        targets = [m if m not in excluded else survivors[m % len(survivors)] for m in targets]
 
     rec = None
     if context is not None and context.recorder.enabled:

@@ -20,7 +20,9 @@ an ``O(alpha + 1/(alpha-1))`` competitive ratio.
 
 from __future__ import annotations
 
-from ..core.errors import InvalidInstanceError
+import math
+
+from ..core.errors import InvalidInstanceError, SimulationError
 from ..core.job import Instance
 from ..core.kernels import growth_time_between
 from ..core.power import PowerLaw
@@ -58,6 +60,7 @@ def simulate_nc_par(
     ]
     recorder = context.recorder
     rec = recorder if recorder.enabled else None  # zero-overhead hoist
+    filt = context.volume_filter  # fault reveal channel; None when unfaulted
 
     for job in instance:  # global FIFO queue == release order
         # Pick the machine that is (or first becomes) available.  Among
@@ -101,7 +104,17 @@ def simulate_nc_par(
             )
             rec.emit("completion", start + tau, comp, job=job.job_id)
         assignments[chosen].append(job.job_id)
-        oracles[chosen].add_job(job.job_id, job.release, job.density, job.volume)
+        vol = job.volume
+        if filt is not None:
+            vol = filt(job.job_id, vol)
+            if not (math.isfinite(vol) and vol > 0.0):
+                raise SimulationError(
+                    f"revealed volume of job {job.job_id} corrupted to {vol}",
+                    time=start + tau,
+                    job=job.job_id,
+                    value=vol,
+                )
+        oracles[chosen].add_job(job.job_id, job.release, job.density, vol)
         free[chosen] = start + tau
 
     schedules = {i: builders[i].build() for i in range(machines) if assignments[i]}

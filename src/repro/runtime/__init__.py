@@ -1,0 +1,16 @@
+"""Supervised execution runtime: invariant guards, checkpoint recovery, chaos."""
+
+from .chaos import CampaignReport, RunOutcome, format_campaign, run_campaign, run_pair_verified
+from .supervisor import ALGORITHMS, RecoveryPolicy, SupervisedResult, Supervisor
+
+__all__ = [
+    "ALGORITHMS",
+    "CampaignReport",
+    "RecoveryPolicy",
+    "RunOutcome",
+    "SupervisedResult",
+    "Supervisor",
+    "format_campaign",
+    "run_campaign",
+    "run_pair_verified",
+]

@@ -1,0 +1,185 @@
+"""Tier-1: the chaos campaign harness and its CLI exit-code contract.
+
+The acceptance bar for the robustness layer: a campaign of >= 50
+injected-fault runs where every run either completes with the paper's
+invariants re-verified from the trace, or terminates with a structured
+error naming the fault and the last good checkpoint — no hangs, no silent
+corruption.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.cli import main
+from repro.core.tracing import read_jsonl
+from repro.runtime.chaos import (
+    CampaignReport,
+    RunOutcome,
+    format_campaign,
+    run_campaign,
+)
+
+# One shared 50-run campaign: module-scoped because it is the expensive bit
+# (~1.5 s) and several tests inspect different facets of the same report.
+N_RUNS = 50
+
+
+@pytest.fixture(scope="module")
+def campaign(tmp_path_factory):
+    out = tmp_path_factory.mktemp("chaos") / "chaos.jsonl"
+    report = run_campaign(0, N_RUNS, out=out)
+    return report, out
+
+
+class TestCampaignGuarantee:
+    def test_every_run_survives_or_fails_structured(self, campaign):
+        report, _ = campaign
+        assert report.n_runs == N_RUNS
+        assert len(report.outcomes) == N_RUNS
+        for outcome in report.outcomes:
+            assert outcome.status in ("clean", "recovered", "failed")
+            if outcome.status == "failed":
+                # structured terminal state: the error names the fault and
+                # the last good checkpoint
+                assert outcome.error
+                assert outcome.checkpoint
+            else:
+                assert outcome.error is None
+
+    def test_seed0_campaign_is_all_survived(self, campaign):
+        report, _ = campaign
+        assert report.n_failed == 0
+        assert report.n_clean + report.n_recovered == N_RUNS
+        assert report.ok
+
+    def test_faults_actually_fire(self, campaign):
+        report, _ = campaign
+        fired = sum(o.faults_fired for o in report.outcomes)
+        # every run carries a one-fault plan; the vast majority must land
+        assert fired >= N_RUNS * 0.8
+
+    def test_pair_runs_reverify_lemmas(self, campaign):
+        report, _ = campaign
+        pair_runs = [o for o in report.outcomes if o.lemmas_ok is not None]
+        assert pair_runs  # the rotation always includes pair scenarios
+        assert all(o.lemmas_ok for o in pair_runs)
+
+    def test_all_families_covered(self, campaign):
+        report, _ = campaign
+        families = {o.family for o in report.outcomes}
+        assert families == {"NC_PAIR", "CAPPED_PAIR", "NC_GENERAL", "NC_PAR"}
+
+    def test_format_renders_verdict(self, campaign):
+        report, _ = campaign
+        text = format_campaign(report)
+        assert "CAMPAIGN OK" in text
+        for outcome in report.outcomes[:3]:
+            assert str(outcome.run_id) in text
+
+
+class TestDeterminism:
+    def test_same_seed_same_outcomes(self):
+        a = run_campaign(5, 10)
+        b = run_campaign(5, 10)
+        strip = lambda o: dataclasses.replace(o)  # frozen: compare directly
+        assert [strip(o) for o in a.outcomes] == [strip(o) for o in b.outcomes]
+
+    def test_different_seed_different_plans(self):
+        a = run_campaign(1, 10)
+        b = run_campaign(2, 10)
+        assert [o.plan for o in a.outcomes] != [o.plan for o in b.outcomes]
+
+
+class TestJsonlRoundTrip:
+    def test_events_round_trip(self, campaign):
+        report, out = campaign
+        events = read_jsonl(out)
+        assert events
+        kinds = {e.kind for e in events}
+        assert "fault_injected" in kinds
+        assert "recovery" in kinds or report.n_recovered == 0
+        # every fault_injected payload names its fault kind
+        for e in events:
+            if e.kind == "fault_injected":
+                assert "fault" in e.payload
+
+    def test_run_meta_headers_partition_the_file(self, campaign):
+        report, out = campaign
+        headers = [
+            e for e in read_jsonl(out)
+            if e.kind == "run_meta" and "run_id" in e.payload
+        ]
+        assert len(headers) == N_RUNS
+        by_id = {h.payload["run_id"]: h for h in headers}
+        for outcome in report.outcomes:
+            header = by_id[outcome.run_id]
+            assert header.payload["family"] == outcome.family
+            assert header.payload["status"] == outcome.status
+            assert header.payload["plan"] == outcome.plan
+
+
+class TestOutcomeModel:
+    def test_report_ok_rejects_failed_runs(self):
+        good = RunOutcome(
+            run_id="r0", family="NC_GENERAL", seed=1, plan="p", status="clean",
+            attempts=1, faults_fired=0, lemmas_ok=None, error=None,
+            checkpoint=None, n_events=10,
+        )
+        bad = dataclasses.replace(
+            good, run_id="r1", status="failed", error="RecoveryExhaustedError",
+            checkpoint="attempt-3",
+        )
+        assert CampaignReport(0, 2, (good, good)).ok
+        assert not CampaignReport(0, 2, (good, bad)).ok
+
+    def test_report_ok_rejects_broken_lemmas(self):
+        run = RunOutcome(
+            run_id="r0", family="NC_PAIR", seed=1, plan="p", status="recovered",
+            attempts=2, faults_fired=1, lemmas_ok=False, error=None,
+            checkpoint=None, n_events=10,
+        )
+        assert not CampaignReport(0, 1, (run,)).ok
+
+
+class TestCliExitCodes:
+    def test_chaos_exits_zero_on_survival(self, capsys):
+        assert main(["chaos", "--seed", "0", "--n", "3"]) == 0
+        assert "CAMPAIGN OK" in capsys.readouterr().out
+
+    def test_chaos_exits_nonzero_on_failure(self, capsys, monkeypatch):
+        import repro.runtime.chaos as chaos_mod
+
+        failed = RunOutcome(
+            run_id="r0", family="NC_GENERAL", seed=1, plan="p", status="failed",
+            attempts=4, faults_fired=1, lemmas_ok=None,
+            error="RecoveryExhaustedError", checkpoint="attempt-3", n_events=5,
+        )
+        monkeypatch.setattr(
+            chaos_mod, "run_campaign",
+            lambda *a, **k: CampaignReport(0, 1, (failed,)),
+        )
+        assert main(["chaos", "--n", "1"]) == 1
+        assert "CAMPAIGN FAILED" in capsys.readouterr().out
+
+    def test_verify_exits_zero_when_claims_hold(self, capsys):
+        assert main(["verify", "--jobs", "5", "--seed", "2"]) == 0
+        assert "ALL CLAIMS HOLD" in capsys.readouterr().out
+
+    def test_verify_exits_nonzero_when_a_claim_fails(self, capsys, monkeypatch):
+        import repro.analysis.verification as verification
+
+        real = verification.verify_paper_claims
+
+        def sabotage(*args, **kwargs):
+            checks = real(*args, **kwargs)
+            broken = dataclasses.replace(
+                checks[0], measured=checks[0].expected + 1e6
+            )
+            return [broken, *checks[1:]]
+
+        monkeypatch.setattr(verification, "verify_paper_claims", sabotage)
+        assert main(["verify", "--jobs", "5", "--seed", "2"]) == 1
+        assert "SOME CLAIMS FAILED" in capsys.readouterr().out

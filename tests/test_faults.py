@@ -1,0 +1,202 @@
+"""Tier-1: deterministic fault plans and the injectors that realize them."""
+
+import math
+
+import pytest
+
+from repro import Instance, Job, PowerLaw
+from repro.core.errors import ConvergenceError, SimulationError
+from repro.core.shadow import SimulationContext
+from repro.core.tracing import MemoryRecorder
+from repro.faults import (
+    FAULT_KINDS,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    FaultyVolumeOracle,
+    FlakyPowerFunction,
+    generate_plan,
+    simulate_nc_par_with_failure,
+)
+from repro.workloads import random_instance
+
+ALPHA = 3.0
+
+
+def _ctx(power=None):
+    return SimulationContext(power or PowerLaw(ALPHA), recorder=MemoryRecorder())
+
+
+class TestFaultPlan:
+    def test_generate_is_deterministic(self):
+        a = generate_plan(42, n_faults=3, n_jobs=8, machines=3, transient_only=False)
+        b = generate_plan(42, n_faults=3, n_jobs=8, machines=3, transient_only=False)
+        assert a == b
+        assert a.describe() == b.describe()
+
+    def test_different_seeds_differ(self):
+        plans = {generate_plan(s, n_faults=2, n_jobs=8).describe() for s in range(10)}
+        assert len(plans) > 1
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            FaultSpec(kind="gremlin")
+        with pytest.raises(ValueError):
+            FaultSpec(kind="oracle_lie", max_firings=0)
+        with pytest.raises(ValueError):
+            FaultSpec(kind="power_nan", after_calls=-1)
+        with pytest.raises(ValueError):
+            generate_plan(0, kinds=("not_a_kind",))
+
+    def test_empty_plan(self):
+        plan = FaultPlan.empty()
+        assert plan.is_empty
+        assert plan.of_kind(*FAULT_KINDS) == ()
+        assert "no faults" in plan.describe()
+
+    def test_payload_keys_fault_kind(self):
+        spec = FaultSpec(kind="machine_failure", machine=1, at_time=0.5)
+        payload = spec.as_payload()
+        assert payload["fault"] == "machine_failure"
+        assert "kind" not in payload  # would collide with the event's own kind
+
+
+class TestInjectorChannels:
+    def test_faulty_oracle_lies_only_at_reveal(self):
+        inst = Instance([Job(0, 0.0, 2.0, 1.0)])
+        oracle = FaultyVolumeOracle(inst, lambda j, v: v * 10.0)
+        assert oracle._reveal_on_completion(0) == 20.0
+        assert oracle._true_volume(0) == 2.0  # physics stays honest
+
+    def test_flaky_power_transient_then_recovers(self):
+        calls = {"n": 0}
+
+        def on_speed(_value):
+            calls["n"] += 1
+            if calls["n"] == 2:
+                raise ConvergenceError("boom", call=calls["n"])
+            return None
+
+        flaky = FlakyPowerFunction(ALPHA, on_speed)
+        honest = PowerLaw(ALPHA)
+        assert flaky.speed(8.0) == honest.speed(8.0)
+        with pytest.raises(ConvergenceError):
+            flaky.speed(8.0)
+        assert flaky.speed(8.0) == honest.speed(8.0)
+
+    def test_perturb_jitter_shifts_release(self):
+        ctx = _ctx()
+        plan = FaultPlan(0, (FaultSpec(kind="release_jitter", job_id=1, magnitude=0.25),))
+        inj = FaultInjector(plan, ctx)
+        inst = Instance([Job(0, 0.0, 1.0, 1.0), Job(1, 0.5, 1.0, 1.0)])
+        out = inj.perturb_instance(inst)
+        assert out[1].release == pytest.approx(0.75)
+        assert out[0].release == 0.0
+        # budget spent: the retry sees the original instance object
+        assert inj.perturb_instance(inst) is inst
+
+    def test_perturb_duplicate_adds_phantom(self):
+        ctx = _ctx()
+        plan = FaultPlan(0, (FaultSpec(kind="release_duplicate", job_id=0),))
+        inj = FaultInjector(plan, ctx)
+        inst = Instance([Job(0, 0.0, 1.0, 1.0), Job(1, 0.5, 1.0, 1.0)])
+        out = inj.perturb_instance(inst)
+        assert len(out) == 3
+        phantom = [j for j in out if j.job_id not in (0, 1)]
+        assert len(phantom) == 1
+        assert phantom[0].volume == inst[0].volume
+
+    def test_perturb_drop_removes_job_but_never_the_last(self):
+        ctx = _ctx()
+        plan = FaultPlan(0, (FaultSpec(kind="release_drop", job_id=1),))
+        inj = FaultInjector(plan, ctx)
+        inst = Instance([Job(0, 0.0, 1.0, 1.0), Job(1, 0.5, 1.0, 1.0)])
+        out = inj.perturb_instance(inst)
+        assert [j.job_id for j in out] == [0]
+
+        lonely = Instance([Job(0, 0.0, 1.0, 1.0)])
+        inj2 = FaultInjector(
+            FaultPlan(0, (FaultSpec(kind="release_drop", job_id=0),)), _ctx()
+        )
+        assert [j.job_id for j in inj2.perturb_instance(lonely)] == [0]
+
+    def test_lie_modes(self):
+        for mode, check in (
+            ("scale", lambda v: v == pytest.approx(1.5)),
+            ("nan", lambda v: math.isnan(v)),
+        ):
+            plan = FaultPlan(0, (FaultSpec(kind="oracle_lie", mode=mode, magnitude=0.5),))
+            inj = FaultInjector(plan, _ctx())
+            assert check(inj._lie(0, 1.0))
+            # budget spent: second reveal is honest
+            assert inj._lie(0, 1.0) == 1.0
+
+        plan = FaultPlan(0, (FaultSpec(kind="oracle_lie", mode="withhold"),))
+        inj = FaultInjector(plan, _ctx())
+        with pytest.raises(SimulationError) as exc:
+            inj._lie(3, 1.0)
+        assert exc.value.context["job"] == 3
+
+    def test_wrap_power_is_identity_without_power_faults(self):
+        power = PowerLaw(ALPHA)
+        inj = FaultInjector(FaultPlan.empty(), _ctx(power))
+        assert inj.wrap_power(power) is power
+
+    def test_install_wires_nothing_for_empty_plan(self):
+        ctx = _ctx()
+        inj = FaultInjector(FaultPlan.empty(), ctx)
+        inj.install()
+        assert ctx.volume_filter is None
+        assert ctx.oracle_factory is None
+        assert ctx.step_interceptor is None
+
+    def test_fired_events_are_typed_and_budgeted(self):
+        ctx = _ctx()
+        plan = FaultPlan(0, (FaultSpec(kind="oracle_lie", magnitude=0.5),))
+        inj = FaultInjector(plan, ctx)
+        inj._lie(0, 1.0)
+        assert inj.exhausted
+        events = ctx.recorder.events_of(kind="fault_injected")
+        assert len(events) == 1
+        assert events[0].payload["fault"] == "oracle_lie"
+        assert ctx.metrics.get("faults_fired") == 1
+
+
+class TestMachineFailure:
+    def test_failover_completes_all_jobs(self):
+        power = PowerLaw(ALPHA)
+        inst = random_instance(10, seed=5, volume="uniform")
+        ctx = _ctx(power)
+        run = simulate_nc_par_with_failure(
+            inst, power, 3, dead_machine=0, fail_time=0.4, context=ctx
+        )
+        report = run.report(validate=True)
+        assert math.isfinite(report.energy) and report.energy > 0
+        scheduled = {j for jobs in run.assignments.values() for j in jobs}
+        assert scheduled == {j.job_id for j in inst}
+        # nothing lands on the dead machine after the failure
+        for seg in run.schedules.get(0, []).segments if 0 in run.schedules else []:
+            assert seg.t1 <= 0.4 + 1e-9 or seg.t0 < 0.4
+
+    def test_failover_emits_fault_and_recovery_events(self):
+        power = PowerLaw(ALPHA)
+        inst = random_instance(8, seed=7, volume="uniform")
+        ctx = _ctx(power)
+        simulate_nc_par_with_failure(
+            inst, power, 2, dead_machine=1, fail_time=0.3, context=ctx
+        )
+        kinds = {e.kind for e in ctx.recorder.events}
+        assert "fault_injected" in kinds
+        fault = ctx.recorder.events_of(kind="fault_injected")[0]
+        assert fault.payload["fault"] == "machine_failure"
+        assert ctx.metrics.get("machine_failures") == 1
+
+    def test_failover_requires_two_machines(self):
+        power = PowerLaw(ALPHA)
+        inst = random_instance(4, seed=1, volume="uniform")
+        from repro.core.errors import InvalidInstanceError
+
+        with pytest.raises(InvalidInstanceError):
+            simulate_nc_par_with_failure(
+                inst, power, 1, dead_machine=0, fail_time=0.1
+            )
