@@ -22,7 +22,7 @@ bench:
 # benchmarks/out/BENCH_general_density.json), the eta/beta ablation, the
 # tracing zero-overhead gate, and the supervisor-overhead gate.
 bench-smoke:
-	$(PYTEST) benchmarks/bench_general_density.py benchmarks/bench_ablation_eta_beta.py benchmarks/bench_tracing_overhead.py benchmarks/bench_supervisor_overhead.py --benchmark-only
+	$(PYTEST) benchmarks/bench_general_density.py benchmarks/bench_ablation_eta_beta.py benchmarks/bench_tracing_overhead.py benchmarks/bench_supervisor_overhead.py benchmarks/bench_shard_scale.py --benchmark-only
 
 # Diff the freshly written BENCH_*.json against the committed baselines
 # (deterministic quantities must match; speedups must stay >= 5x).
@@ -38,7 +38,7 @@ lint:
 
 typecheck:
 	@if command -v mypy >/dev/null 2>&1; then \
-		MYPYPATH=src mypy --strict -p repro.core -p repro.faults -p repro.runtime; \
+		MYPYPATH=src mypy --strict -p repro.core -p repro.faults -p repro.runtime -p repro.parallel; \
 	else echo "mypy not installed; skipping (CI runs it)"; fi
 
 # The one-stop entrypoint: tier-1 tests, then the benchmark smoke gate.

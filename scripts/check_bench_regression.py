@@ -11,11 +11,14 @@ This script compares the two:
   expected to agree exactly; the tolerance absorbs intentional re-baselines
   of statistical quantities);
 * wall-clock-derived quantities (``wall_clock_s``, overhead ratios) are
-  skipped — they vary with the host — EXCEPT two one-sided gates: the
+  skipped — they vary with the host — EXCEPT four one-sided gates: the
   shadow-layer ``speedup`` must stay at or above ``--min-speedup`` (the
-  repo's 5x acceptance floor) and the supervisor's no-fault
+  repo's 5x acceptance floor); the supervisor's no-fault
   ``supervised_overhead`` must stay at or below ``--max-overhead`` (1.05,
-  the robustness layer's 5% ceiling);
+  the robustness layer's 5% ceiling); the sharded path's
+  ``shard_pool_speedup_largest`` must stay at or above
+  ``--min-shard-speedup`` (the pool beats serial shard execution) and its
+  ``shard_recovery_overhead`` at or below ``--max-recovery-overhead``;
 * quantities present on only one side are reported (new benchmarks are fine;
   silently vanished ones are not).
 
@@ -40,15 +43,32 @@ OUT_DIR = REPO_ROOT / "benchmarks" / "out"
 
 #: Host-dependent keys: never diffed against the baseline.
 TIMING_KEYS = frozenset(
-    {"wall_clock_s", "speedup", "null_overhead", "memory_overhead", "supervised_overhead"}
+    {
+        "wall_clock_s",
+        "speedup",
+        "null_overhead",
+        "memory_overhead",
+        "supervised_overhead",
+        "shard_pool_speedup",
+        "shard_pool_speedup_largest",
+        "shard_recovery_overhead",
+    }
 )
 #: The one timing-derived key that still carries an acceptance floor.
 SPEEDUP_KEY = "speedup"
 #: Timing-derived key with an acceptance *ceiling*: the no-fault supervised
 #: run may cost at most 5% over the unsupervised baseline.
 OVERHEAD_KEY = "supervised_overhead"
+#: Sharded-execution gates (bench_shard_scale): the worker pool must beat
+#: shard-at-a-time serial execution at the largest grid point, and
+#: recovering a SIGKILLed worker must stay under the ceiling relative to a
+#: clean pool run.
+SHARD_SPEEDUP_KEY = "shard_pool_speedup_largest"
+SHARD_RECOVERY_KEY = "shard_recovery_overhead"
 DEFAULT_MIN_SPEEDUP = 5.0
 DEFAULT_MAX_OVERHEAD = 1.05
+DEFAULT_MIN_SHARD_SPEEDUP = 1.0
+DEFAULT_MAX_RECOVERY_OVERHEAD = 4.0
 DEFAULT_TOLERANCE = 1e-6
 
 
@@ -160,6 +180,20 @@ def main(argv: list[str] | None = None) -> int:
         default=DEFAULT_MAX_OVERHEAD,
         help="acceptance ceiling for every fresh 'supervised_overhead' value",
     )
+    parser.add_argument(
+        "--min-shard-speedup",
+        type=float,
+        default=DEFAULT_MIN_SHARD_SPEEDUP,
+        help="acceptance floor for 'shard_pool_speedup_largest' (pool must "
+        "beat serial shard execution)",
+    )
+    parser.add_argument(
+        "--max-recovery-overhead",
+        type=float,
+        default=DEFAULT_MAX_RECOVERY_OVERHEAD,
+        help="acceptance ceiling for 'shard_recovery_overhead' (price of a "
+        "SIGKILLed worker vs a clean pool run)",
+    )
     args = parser.parse_args(argv)
 
     fresh_files = sorted(args.fresh_dir.glob("BENCH_*.json"))
@@ -182,6 +216,19 @@ def main(argv: list[str] | None = None) -> int:
                 problems.append(
                     f"{path.name}: {spath} = {value:.3f} above the "
                     f"{args.max_overhead:g}x supervised-overhead ceiling"
+                )
+        for spath, value in collect_key(fresh, SHARD_SPEEDUP_KEY):
+            if value < args.min_shard_speedup:
+                problems.append(
+                    f"{path.name}: {spath} = {value:.3f} below the "
+                    f"{args.min_shard_speedup:g}x shard-pool floor (pool "
+                    f"slower than serial shard execution)"
+                )
+        for spath, value in collect_key(fresh, SHARD_RECOVERY_KEY):
+            if value > args.max_recovery_overhead:
+                problems.append(
+                    f"{path.name}: {spath} = {value:.3f} above the "
+                    f"{args.max_recovery_overhead:g}x shard-recovery ceiling"
                 )
         baseline = load_baseline(path.name, args.baseline_dir, args.baseline_ref)
         if baseline is None:

@@ -12,6 +12,11 @@ Commands:
   replay it through :mod:`repro.analysis.trace_report` (Lemma 3/4 checks).
 * ``chaos``        — seeded fault-injection campaign under the supervised
   runtime; re-verifies the paper's guarantees on every surviving run.
+  ``--shards`` switches to the shard-kill campaign (workers SIGKILLed
+  mid-shard; recovery + bit-identity + Lemma 20 verified);
+  ``--timeout`` bounds each run's wall clock.
+* ``shard``        — run NC-PAR/C-PAR sharded on the supervised worker
+  pool and verify the merged report is bit-identical to the serial path.
 
 Every command accepts ``--seed`` and ``--alpha`` so results are exactly
 reproducible.  The CLI builds only on the public API — it doubles as an
@@ -141,6 +146,44 @@ def build_parser() -> argparse.ArgumentParser:
     p_ch.add_argument("--jobs", type=int, default=8, help="jobs per scenario")
     p_ch.add_argument("--machines", type=int, default=3, help="machines (parallel runs)")
     p_ch.add_argument("--out", default=None, help="append every run's trace to this JSONL file")
+    p_ch.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-run wall-clock budget in seconds; a run exceeding it is "
+        "abandoned, marked failed (run_timeout event), and the campaign moves on",
+    )
+    p_ch.add_argument(
+        "--shards", action="store_true",
+        help="run the shard-kill campaign instead (SIGKILL workers mid-shard, "
+        "verify recovery, bit-identity with serial, and Lemma 20/3/4)",
+    )
+    p_ch.add_argument("--workers", type=int, default=2, help="pool workers (--shards)")
+    p_ch.add_argument("--kills", type=int, default=2, help="workers SIGKILLed per run (--shards)")
+    p_ch.add_argument(
+        "--hold", type=float, default=0.15,
+        help="synthetic per-shard duration in seconds (--shards); guarantees "
+        "kills land mid-shard",
+    )
+    p_ch.add_argument(
+        "--checkpoint-dir", default=None,
+        help="durable shard checkpoint directory (--shards); enables the "
+        "checkpoint_corruption rotation",
+    )
+
+    p_sh = sub.add_parser(
+        "shard",
+        help="run a parallel family sharded on the supervised pool and verify "
+        "bit-identity with the serial path",
+    )
+    p_sh.add_argument("--machines", type=int, default=4)
+    p_sh.add_argument("--algorithm", default="nc_par", choices=["nc_par", "c_par"])
+    p_sh.add_argument("--workers", type=int, default=2, help="pool worker processes")
+    p_sh.add_argument("--n-shards", type=int, default=None, help="shard count (default: balanced)")
+    p_sh.add_argument("--checkpoint-dir", default=None, help="durable shard checkpoint directory")
+    p_sh.add_argument(
+        "--serial", action="store_true",
+        help="compute shards in-process instead of on the pool",
+    )
+    _add_workload_args(p_sh)
 
     return parser
 
@@ -274,8 +317,30 @@ def _cmd_verify(args: argparse.Namespace) -> tuple[str, int]:
 
 
 def _cmd_chaos(args: argparse.Namespace) -> tuple[str, int]:
-    from .runtime.chaos import format_campaign, run_campaign
+    from .runtime.chaos import (
+        format_campaign,
+        format_shard_campaign,
+        run_campaign,
+        run_shard_campaign,
+    )
 
+    if args.shards:
+        shard_report = run_shard_campaign(
+            args.seed,
+            args.n,
+            jobs=args.jobs,
+            alpha=args.alpha,
+            machines=args.machines,
+            workers=args.workers,
+            kills=args.kills,
+            shard_hold=args.hold,
+            checkpoint_dir=args.checkpoint_dir,
+            out=args.out,
+        )
+        text = format_shard_campaign(shard_report)
+        if args.out:
+            text += f"\n\ntraces written to {args.out}"
+        return text, 0 if shard_report.ok else 1
     report = run_campaign(
         args.seed,
         args.n,
@@ -283,11 +348,55 @@ def _cmd_chaos(args: argparse.Namespace) -> tuple[str, int]:
         alpha=args.alpha,
         machines=args.machines,
         out=args.out,
+        run_timeout=args.timeout,
     )
     text = format_campaign(report)
     if args.out:
         text += f"\n\ntraces written to {args.out}"
     return text, 0 if report.ok else 1
+
+
+def _cmd_shard(args: argparse.Namespace) -> tuple[str, int]:
+    from .parallel.shard import run_sharded
+    from .runtime.pool import PoolPolicy
+
+    power = PowerLaw(args.alpha)
+    inst = _workload(args)
+    if args.algorithm == "nc_par" and not inst.is_uniform_density():
+        raise SystemExit("shard --algorithm nc_par requires --densities unit")
+    result = run_sharded(
+        inst,
+        power,
+        args.machines,
+        algorithm=args.algorithm,
+        n_shards=args.n_shards,
+        policy=PoolPolicy(workers=args.workers),
+        checkpoint_dir=args.checkpoint_dir,
+        force_serial=args.serial,
+    )
+    serial = result.cluster.report()
+    bit_identical = result.report == serial
+    rows = [
+        ["sharded", result.report.energy, result.report.fractional_flow,
+         result.report.fractional_objective],
+        ["serial", serial.energy, serial.fractional_flow, serial.fractional_objective],
+    ]
+    stats = result.stats
+    mode = (
+        "serial (forced)" if stats is None
+        else f"pool: {stats.workers_spawned} workers, {stats.dispatched} dispatches, "
+        f"{stats.redispatched} redispatched, {stats.workers_lost} lost"
+        + (", DEGRADED" if stats.degraded else "")
+    )
+    table = format_table(
+        ["path", "energy", "frac flow", "G_frac"],
+        rows,
+        title=f"{args.algorithm} sharded over {len(result.shards)} shards / "
+        f"{args.machines} machines ({mode}); resumed {result.resumed} from "
+        f"checkpoint; bit-identical: {bit_identical}",
+        floatfmt=".6g",
+    )
+    return table, 0 if bit_identical else 1
 
 
 def _cmd_trace(args: argparse.Namespace) -> str:
@@ -363,6 +472,7 @@ _DISPATCH = {
     "lower-bound": _cmd_lower_bound,
     "cluster": _cmd_cluster,
     "chaos": _cmd_chaos,
+    "shard": _cmd_shard,
 }
 
 

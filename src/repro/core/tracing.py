@@ -70,11 +70,20 @@ __all__ = [
 
 #: The closed set of event kinds.  ``run_meta`` is the self-description header
 #: a harness writes before a traced run (instance, alpha, algorithm) so a
-#: JSONL trace is replayable without out-of-band context.  The last five are
-#: the robustness layer's: ``fault_injected`` marks every firing of a
-#: :mod:`repro.faults` injector, and ``guard_violation`` / ``retry`` /
-#: ``recovery`` / ``degraded_mode`` narrate the supervisor's response
-#: (:mod:`repro.runtime.supervisor`).
+#: JSONL trace is replayable without out-of-band context.  ``fault_injected``
+#: marks every firing of a :mod:`repro.faults` injector, and
+#: ``guard_violation`` / ``retry`` / ``recovery`` / ``degraded_mode`` narrate
+#: the supervisor's response (:mod:`repro.runtime.supervisor`).
+#:
+#: The shard lifecycle kinds narrate the sharded parallel-machine layer
+#: (:mod:`repro.runtime.pool`, :mod:`repro.parallel.shard`): a
+#: ``shard_dispatch`` per shard handed to a worker, ``worker_heartbeat``
+#: liveness ticks, ``worker_lost`` when a worker dies or times out,
+#: ``shard_redispatch`` when its shard is retried elsewhere,
+#: ``pool_degraded`` when the pool falls back to the serial path, and
+#: ``shard_checkpoint`` for durable per-shard snapshot saves/loads.
+#: ``run_timeout`` marks a chaos-campaign run cut off by its wall-clock
+#: budget (:mod:`repro.runtime.chaos`).
 EVENT_KINDS = frozenset(
     {
         "run_meta",
@@ -92,6 +101,13 @@ EVENT_KINDS = frozenset(
         "retry",
         "recovery",
         "degraded_mode",
+        "shard_dispatch",
+        "worker_heartbeat",
+        "worker_lost",
+        "shard_redispatch",
+        "pool_degraded",
+        "shard_checkpoint",
+        "run_timeout",
     }
 )
 

@@ -35,6 +35,16 @@ __all__ = ["FAULT_KINDS", "FaultSpec", "FaultPlan", "generate_plan"]
 #: ``step_corruption``   — float noise on the engine's processed volume.
 #: ``machine_failure``   — a parallel machine dies at ``at_time``; its
 #:                         unfinished jobs re-release on the survivors.
+#: ``worker_kill``       — a pool worker process is SIGKILLed right after it
+#:                         receives its ``after_calls``-th shard dispatch
+#:                         (process-level; interpreted by
+#:                         :mod:`repro.runtime.pool`).
+#: ``shard_hang``        — the ``after_calls``-th shard wedges inside its
+#:                         worker (the worker keeps heartbeating but never
+#:                         returns), exercising the pool's shard timeout.
+#: ``checkpoint_corruption`` — a durable per-shard checkpoint's bytes are
+#:                         corrupted on write; the store's checksum must
+#:                         reject it on load and recompute the shard.
 FAULT_KINDS = frozenset(
     {
         "oracle_lie",
@@ -45,11 +55,21 @@ FAULT_KINDS = frozenset(
         "power_nan",
         "step_corruption",
         "machine_failure",
+        "worker_kill",
+        "shard_hang",
+        "checkpoint_corruption",
     }
 )
 
 #: Kinds that perturb the instance itself (resolved before a run starts).
 INSTANCE_KINDS = frozenset({"release_jitter", "release_duplicate", "release_drop"})
+
+#: Process-level kinds, realised outside the simulators by the sharded
+#: execution layer: the worker pool interprets ``worker_kill`` /
+#: ``shard_hang`` and the checkpoint store interprets
+#: ``checkpoint_corruption``.  All fire through the shared injector budget,
+#: so a fault that fired once stays quiet on the re-dispatched attempt.
+PROCESS_KINDS = frozenset({"worker_kill", "shard_hang", "checkpoint_corruption"})
 
 #: Kinds that fire during a run and stop firing once ``max_firings`` is spent
 #: — the faults a retry can survive without any plan change.
@@ -174,7 +194,14 @@ def generate_plan(
         job_id = rng.randrange(n_jobs) if n_jobs else None
         machine = rng.randrange(machines) if (machines and kind == "machine_failure") else None
         at_time = rng.uniform(0.0, horizon) if kind in ("machine_failure",) else None
-        after_calls = rng.randrange(1, 6) if kind in ("power_transient", "power_nan") else 0
+        if kind in ("power_transient", "power_nan"):
+            after_calls = rng.randrange(1, 6)
+        elif kind in ("worker_kill", "shard_hang", "checkpoint_corruption"):
+            # Target shard / dispatch ordinal: kept small so the fault lands
+            # even on shard plans of only a few shards.
+            after_calls = rng.randrange(1, 4)
+        else:
+            after_calls = 0
         if kind == "oracle_lie":
             mode = rng.choice(("scale", "nan", "withhold"))
         elif kind == "release_jitter":

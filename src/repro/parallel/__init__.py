@@ -1,6 +1,8 @@
 """Identical parallel machines (§6): the clairvoyant greedy-dispatch baseline
 C-PAR, the non-clairvoyant global-FIFO algorithm NC-PAR, volume-oblivious
-immediate-dispatch rules, and the Ω(k^(1-1/α)) lower-bound adversary."""
+immediate-dispatch rules, the Ω(k^(1-1/α)) lower-bound adversary, and the
+fault-tolerant sharded execution layer (per-machine independence, Lemma 20,
+made executable on a supervised worker pool)."""
 
 from .c_par import remaining_weight_on_machine, simulate_c_par
 from .cluster import ClusterRun
@@ -14,9 +16,25 @@ from .dispatch import (
 from .lower_bound import AdversaryOutcome, adversarial_instance, adversarial_ratio
 from .nc_par import simulate_nc_par
 from .nonuniform_dispatch import simulate_c_hdf_par, simulate_nc_hdf_par
+from .shard import (
+    Shard,
+    ShardCheckpointStore,
+    ShardedResult,
+    compute_shard,
+    plan_shards,
+    run_sharded,
+    shard_payload,
+)
 
 __all__ = [
     "ClusterRun",
+    "Shard",
+    "ShardCheckpointStore",
+    "ShardedResult",
+    "compute_shard",
+    "plan_shards",
+    "run_sharded",
+    "shard_payload",
     "simulate_c_par",
     "remaining_weight_on_machine",
     "simulate_nc_par",

@@ -1,16 +1,35 @@
-"""Supervised execution runtime: invariant guards, checkpoint recovery, chaos."""
+"""Supervised execution runtime: invariant guards, checkpoint recovery, the
+fault-tolerant worker pool, and chaos campaigns (scalar and sharded)."""
 
-from .chaos import CampaignReport, RunOutcome, format_campaign, run_campaign, run_pair_verified
+from .chaos import (
+    CampaignReport,
+    RunOutcome,
+    ShardCampaignReport,
+    ShardRunOutcome,
+    format_campaign,
+    format_shard_campaign,
+    run_campaign,
+    run_pair_verified,
+    run_shard_campaign,
+)
+from .pool import PoolPolicy, PoolStats, WorkerPool
 from .supervisor import ALGORITHMS, RecoveryPolicy, SupervisedResult, Supervisor
 
 __all__ = [
     "ALGORITHMS",
     "CampaignReport",
+    "PoolPolicy",
+    "PoolStats",
     "RecoveryPolicy",
     "RunOutcome",
+    "ShardCampaignReport",
+    "ShardRunOutcome",
     "SupervisedResult",
     "Supervisor",
+    "WorkerPool",
     "format_campaign",
+    "format_shard_campaign",
     "run_campaign",
     "run_pair_verified",
+    "run_shard_campaign",
 ]

@@ -11,26 +11,58 @@ through the algorithm families.  Each run either
   naming the fault and the last good checkpoint.
 
 No fourth outcome exists: no hangs, no silent NaN, no negative weights —
-that is the campaign's contract, asserted by ``tests/test_chaos.py``.
+that is the campaign's contract, asserted by ``tests/test_chaos.py``.  The
+no-hang half is enforced mechanically: with ``run_timeout`` set, a run that
+exceeds its wall-clock budget is abandoned (a ``run_timeout`` event marks
+it in the trace) and counted as **failed**, so one wedged run cannot wedge
+the campaign.
+
+The shard-kill campaign (:func:`run_shard_campaign`, ``repro chaos
+--shards``) is the process-level counterpart: each run executes the
+parallel family *sharded* on a supervised worker pool
+(:mod:`repro.runtime.pool`) while the fault plan SIGKILLs workers
+mid-shard (plus rotating shard hangs and checkpoint corruptions), then
+verifies that every shard was recovered, the merged report is
+**bit-identical** to the serial :class:`~repro.parallel.cluster.ClusterRun`
+path, NC-PAR and C-PAR made identical dispatch decisions (Lemma 20), and
+Lemma 3 / Lemma 4 still replay from the surviving trace at ``1e-9``.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from pathlib import Path
+from typing import TextIO
 
 from ..analysis.trace_report import build_report
 from ..core.errors import ReproError, ScheduleError
 from ..core.shadow import SimulationContext
-from ..core.tracing import MemoryRecorder
+from ..core.tracing import MemoryRecorder, TraceEvent
 from ..extensions.bounded_speed import CappedPowerLaw, simulate_clairvoyant_capped
 from ..algorithms.clairvoyant import simulate_clairvoyant
+from ..algorithms.nc_uniform import simulate_nc_uniform
 from ..core.power import PowerLaw
-from ..faults.plan import FaultPlan, generate_plan
+from ..faults.injector import FaultInjector
+from ..faults.plan import FaultPlan, FaultSpec, generate_plan
+from ..parallel.c_par import simulate_c_par
+from ..parallel.nc_par import simulate_nc_par
+from ..parallel.shard import run_sharded
 from ..workloads.random_instances import random_instance
+from .pool import PoolPolicy
 from .supervisor import RecoveryPolicy, Supervisor
 
-__all__ = ["RunOutcome", "CampaignReport", "run_pair_verified", "run_campaign", "format_campaign"]
+__all__ = [
+    "RunOutcome",
+    "CampaignReport",
+    "ShardRunOutcome",
+    "ShardCampaignReport",
+    "run_pair_verified",
+    "run_campaign",
+    "run_shard_campaign",
+    "format_campaign",
+    "format_shard_campaign",
+]
 
 #: Tolerance for trace-replayed Lemma 3 / Lemma 4 on pair runs.
 PAIR_REL_TOL = 1e-9
@@ -166,6 +198,7 @@ def run_campaign(
     machines: int = 3,
     out: str | Path | None = None,
     policy: RecoveryPolicy | None = None,
+    run_timeout: float | None = None,
 ) -> CampaignReport:
     """Run a seeded campaign of ``n_runs`` fault scenarios.
 
@@ -173,6 +206,12 @@ def run_campaign(
     and ``recovery`` events) is appended to one JSONL file; the per-run
     ``run_meta`` header carries ``run_id``/``family``/``plan`` so the file
     partitions cleanly on re-read.
+
+    ``run_timeout`` (seconds) bounds each run's wall clock.  A run that
+    exceeds it is abandoned where it stands, marked **failed** with a
+    ``run_timeout`` event in its trace slot, and the campaign moves on —
+    the timed-out run's thread can never touch the sink, because all sink
+    writes happen here after the verdict.
     """
     outcomes: list[RunOutcome] = []
     sink = Path(out).open("w", encoding="utf-8") if out is not None else None
@@ -180,14 +219,109 @@ def run_campaign(
         for i in range(n_runs):
             derived = seed * 1_000_003 + i
             family = _ROTATION[i % len(_ROTATION)]
-            outcomes.append(
-                _run_one(i, family, derived, jobs=jobs, alpha=alpha,
-                         machines=machines, sink=sink, policy=policy)
+            outcome, events = _execute_run(
+                i, family, derived, jobs=jobs, alpha=alpha,
+                machines=machines, policy=policy, run_timeout=run_timeout,
             )
+            outcomes.append(outcome)
+            if sink is not None:
+                _write_run(sink, outcome, events)
     finally:
         if sink is not None:
             sink.close()
     return CampaignReport(seed=seed, n_runs=n_runs, outcomes=tuple(outcomes))
+
+
+def _write_run(sink: TextIO, outcome: RunOutcome, events: list[TraceEvent]) -> None:
+    header = {
+        "run_id": outcome.run_id,
+        "family": outcome.family,
+        "seed": outcome.seed,
+        "plan": outcome.plan,
+        "status": outcome.status,
+    }
+    rec = MemoryRecorder()
+    rec.emit("run_meta", 0.0, "campaign", **header)
+    sink.write(rec.events[0].to_json() + "\n")
+    for event in events:
+        sink.write(event.to_json() + "\n")
+
+
+def _campaign_plan(family: str, derived_seed: int, *, jobs: int, machines: int) -> FaultPlan:
+    n = jobs if family != "NC_GENERAL" else max(3, jobs // 2)
+    return generate_plan(
+        derived_seed,
+        n_faults=1,
+        kinds=_POOLS[family],
+        n_jobs=n,
+        machines=machines if family == "NC_PAR" else None,
+    )
+
+
+def _execute_run(
+    run_id: int,
+    family: str,
+    derived_seed: int,
+    *,
+    jobs: int,
+    alpha: float,
+    machines: int,
+    policy: RecoveryPolicy | None,
+    run_timeout: float | None,
+) -> tuple[RunOutcome, list[TraceEvent]]:
+    """Run one scenario, optionally under a wall-clock budget.
+
+    Python threads cannot be preempted, so a timed-out run is *abandoned*:
+    its daemon thread keeps whatever it was doing until process exit, but
+    its results and trace are never read — the campaign's record of the run
+    is the synthesized ``run_timeout`` failure built here.
+    """
+    if run_timeout is None:
+        return _run_one(
+            run_id, family, derived_seed,
+            jobs=jobs, alpha=alpha, machines=machines, policy=policy,
+        )
+
+    box: list = []
+
+    def target() -> None:
+        try:
+            box.append(
+                _run_one(
+                    run_id, family, derived_seed,
+                    jobs=jobs, alpha=alpha, machines=machines, policy=policy,
+                )
+            )
+        except BaseException as err:  # noqa: BLE001 — surfaced as a failed run
+            box.append(err)
+
+    thread = threading.Thread(target=target, daemon=True, name=f"chaos-run-{run_id}")
+    thread.start()
+    thread.join(run_timeout)
+    if thread.is_alive() or not box:
+        plan = _campaign_plan(family, derived_seed, jobs=jobs, machines=machines)
+        rec = MemoryRecorder()
+        rec.emit(
+            "run_timeout", 0.0, "chaos",
+            run_id=run_id, family=family, timeout_s=float(run_timeout),
+        )
+        outcome = RunOutcome(
+            run_id=run_id,
+            family=family,
+            seed=derived_seed,
+            plan=plan.describe(),
+            status="failed",
+            attempts=0,
+            faults_fired=0,
+            lemmas_ok=None,
+            error=f"RunTimeout: run exceeded {run_timeout:.3g}s wall clock",
+            checkpoint="run_timeout",
+            n_events=len(rec.events),
+        )
+        return outcome, rec.events
+    if isinstance(box[0], BaseException):
+        raise box[0]
+    return box[0]
 
 
 def _run_one(
@@ -198,18 +332,11 @@ def _run_one(
     jobs: int,
     alpha: float,
     machines: int,
-    sink,
     policy: RecoveryPolicy | None,
-) -> RunOutcome:
+) -> tuple[RunOutcome, list[TraceEvent]]:
     recorder = MemoryRecorder()
     n = jobs if family != "NC_GENERAL" else max(3, jobs // 2)
-    plan = generate_plan(
-        derived_seed,
-        n_faults=1,
-        kinds=_POOLS[family],
-        n_jobs=n,
-        machines=machines if family == "NC_PAR" else None,
-    )
+    plan = _campaign_plan(family, derived_seed, jobs=jobs, machines=machines)
     instance = random_instance(n, seed=derived_seed, volume="uniform")
     lemmas_ok: bool | None = None
     status = "failed"
@@ -258,20 +385,7 @@ def _run_one(
         )
         attempts = int(err.context.get("attempts", 0) or 0)
         status = "failed"
-    if sink is not None:
-        header = {
-            "run_id": run_id,
-            "family": family,
-            "seed": derived_seed,
-            "plan": plan.describe(),
-            "status": status,
-        }
-        rec2 = MemoryRecorder()
-        rec2.emit("run_meta", 0.0, "campaign", **header)
-        sink.write(rec2.events[0].to_json() + "\n")
-        for event in recorder.events:
-            sink.write(event.to_json() + "\n")
-    return RunOutcome(
+    outcome = RunOutcome(
         run_id=run_id,
         family=family,
         seed=derived_seed,
@@ -284,6 +398,7 @@ def _run_one(
         checkpoint=checkpoint,
         n_events=len(recorder.events),
     )
+    return outcome, recorder.events
 
 
 def format_campaign(report: CampaignReport) -> str:
@@ -309,5 +424,268 @@ def format_campaign(report: CampaignReport) -> str:
         "CAMPAIGN OK: every run survived with guarantees intact"
         if report.ok
         else "CAMPAIGN FAILED: at least one run failed or broke a replayed lemma"
+    )
+    return "\n".join(lines)
+
+
+# -- the shard-kill campaign --------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ShardRunOutcome:
+    """One shard-kill run's verdict.
+
+    ``bit_identical`` is exact equality of the sharded merged report with
+    the serial ``ClusterRun.report()`` (no tolerance); ``dispatch_identical``
+    is Lemma 20's NC-PAR == C-PAR assignment check; ``lemmas_ok`` is the
+    Lemma 3/4 replay of the traced single-machine pair on the same instance.
+    """
+
+    run_id: int
+    seed: int
+    plan: str
+    status: str  # "clean" | "recovered" | "failed"
+    shards: int
+    workers_killed: int
+    workers_lost: int
+    redispatched: int
+    serial_fallback: int
+    degraded: bool
+    resumed: int
+    faults_fired: int
+    bit_identical: bool | None
+    dispatch_identical: bool | None
+    lemmas_ok: bool | None
+    error: str | None
+    n_events: int
+
+
+@dataclass(frozen=True)
+class ShardCampaignReport:
+    seed: int
+    n_runs: int
+    outcomes: tuple[ShardRunOutcome, ...]
+
+    @property
+    def n_failed(self) -> int:
+        return sum(1 for o in self.outcomes if o.status == "failed")
+
+    @property
+    def total_workers_killed(self) -> int:
+        return sum(o.workers_killed for o in self.outcomes)
+
+    @property
+    def ok(self) -> bool:
+        """Every run survived, every sharded report is bit-identical to the
+        serial path, dispatch identity (Lemma 20) held, and the Lemma 3/4
+        replay passed — the acceptance contract of the sharded layer."""
+        return all(
+            o.status in ("clean", "recovered")
+            and o.bit_identical is True
+            and o.dispatch_identical is True
+            and o.lemmas_ok is not False
+            for o in self.outcomes
+        )
+
+
+def run_shard_campaign(
+    seed: int,
+    n_runs: int,
+    *,
+    jobs: int = 16,
+    alpha: float = 3.0,
+    machines: int = 4,
+    workers: int = 2,
+    kills: int = 2,
+    shard_hold: float = 0.15,
+    checkpoint_dir: str | Path | None = None,
+    out: str | Path | None = None,
+) -> ShardCampaignReport:
+    """Run ``n_runs`` shard-kill scenarios against the supervised pool.
+
+    Every run SIGKILLs ``kills`` workers mid-shard (the ``shard_hold``
+    synthetic shard duration guarantees the kill lands while the shard is
+    computing, so work is genuinely lost and re-dispatched); every third
+    run also wedges a shard (``shard_hang``), and — when ``checkpoint_dir``
+    is given — every fourth run corrupts a durable checkpoint.  After the
+    pool recovers, the run verifies the three-part contract recorded in
+    :class:`ShardRunOutcome`.
+    """
+    outcomes: list[ShardRunOutcome] = []
+    sink = Path(out).open("w", encoding="utf-8") if out is not None else None
+    try:
+        for i in range(n_runs):
+            derived = seed * 1_000_003 + i
+            outcome, events = _run_one_sharded(
+                i, derived, jobs=jobs, alpha=alpha, machines=machines,
+                workers=workers, kills=kills, shard_hold=shard_hold,
+                checkpoint_dir=checkpoint_dir,
+            )
+            outcomes.append(outcome)
+            if sink is not None:
+                header = {
+                    "run_id": outcome.run_id,
+                    "family": "NC_PAR_SHARDED",
+                    "seed": outcome.seed,
+                    "plan": outcome.plan,
+                    "status": outcome.status,
+                }
+                rec = MemoryRecorder()
+                rec.emit("run_meta", 0.0, "campaign", **header)
+                sink.write(rec.events[0].to_json() + "\n")
+                for event in events:
+                    sink.write(event.to_json() + "\n")
+    finally:
+        if sink is not None:
+            sink.close()
+    return ShardCampaignReport(seed=seed, n_runs=n_runs, outcomes=tuple(outcomes))
+
+
+def _shard_plan(
+    run_id: int,
+    derived_seed: int,
+    *,
+    kills: int,
+    with_checkpoints: bool,
+) -> FaultPlan:
+    """The deterministic process-fault plan of one shard-kill run.
+
+    The ``kills`` worker kills target dispatch ordinals ``1..kills`` —
+    the first ``kills`` shards handed out, which land on distinct workers
+    while every worker is still busy with its first shard.
+    """
+    faults: list[FaultSpec] = [
+        FaultSpec(kind="worker_kill", after_calls=k + 1) for k in range(kills)
+    ]
+    if run_id % 3 == 2:
+        faults.append(FaultSpec(kind="shard_hang", after_calls=kills + 1))
+    if with_checkpoints and run_id % 4 == 3:
+        faults.append(FaultSpec(kind="checkpoint_corruption", after_calls=1))
+    return FaultPlan(seed=derived_seed, faults=tuple(faults))
+
+
+def _run_one_sharded(
+    run_id: int,
+    derived_seed: int,
+    *,
+    jobs: int,
+    alpha: float,
+    machines: int,
+    workers: int,
+    kills: int,
+    shard_hold: float,
+    checkpoint_dir: str | Path | None,
+) -> tuple[ShardRunOutcome, list[TraceEvent]]:
+    recorder = MemoryRecorder()
+    power = PowerLaw(alpha)
+    instance = random_instance(jobs, seed=derived_seed, volume="uniform")
+    plan = _shard_plan(
+        run_id, derived_seed, kills=kills, with_checkpoints=checkpoint_dir is not None
+    )
+    context = SimulationContext(power, recorder=recorder)
+    context.emit("run_meta", 0.0, "chaos", **_meta_payload(instance, alpha))
+    injector = FaultInjector(plan, context)
+
+    bit_identical: bool | None = None
+    dispatch_identical: bool | None = None
+    lemmas_ok: bool | None = None
+    status = "failed"
+    error = None
+    shards = 0
+    resumed = 0
+    workers_lost = 0
+    redispatched = 0
+    serial_fallback = 0
+    degraded = False
+    try:
+        # The traced single-machine pair on the same instance: the material
+        # the Lemma 3/4 replay audits.
+        simulate_clairvoyant(instance, power, context=context)
+        simulate_nc_uniform(instance, power, context=context)
+
+        # Serial references, computed without faults or tracing.
+        serial_report = simulate_nc_par(instance, power, machines).report()
+        c_par_assignments = simulate_c_par(instance, power, machines).assignments
+
+        policy = PoolPolicy(
+            workers=workers,
+            heartbeat_interval=0.05,
+            heartbeat_timeout=10.0,
+            shard_timeout=max(2.0, shard_hold * 10.0),
+            poll_interval=0.01,
+        )
+        result = run_sharded(
+            instance, power, machines,
+            context=context, injector=injector, policy=policy,
+            checkpoint_dir=checkpoint_dir, shard_hold=shard_hold,
+        )
+        shards = len(result.shards)
+        resumed = result.resumed
+        if result.stats is not None:
+            workers_lost = result.stats.workers_lost
+            redispatched = result.stats.redispatched
+            serial_fallback = result.stats.serial_fallback
+            degraded = result.stats.degraded
+        bit_identical = result.report == serial_report
+        dispatch_identical = result.cluster.assignments == c_par_assignments
+
+        try:
+            report = build_report(recorder.events, rel_tol=PAIR_REL_TOL)
+            lemmas_ok = bool(report.checks) and all(c.holds for c in report.checks)
+        except ScheduleError:
+            lemmas_ok = False
+        status = "recovered" if injector.fired else "clean"
+    except ReproError as err:
+        error = f"{type(err).__name__}: {err}"
+        status = "failed"
+    outcome = ShardRunOutcome(
+        run_id=run_id,
+        seed=derived_seed,
+        plan=plan.describe(),
+        status=status,
+        shards=shards,
+        workers_killed=sum(1 for s, _ in injector.fired if s.kind == "worker_kill"),
+        workers_lost=workers_lost,
+        redispatched=redispatched,
+        serial_fallback=serial_fallback,
+        degraded=degraded,
+        resumed=resumed,
+        faults_fired=len(injector.fired),
+        bit_identical=bit_identical,
+        dispatch_identical=dispatch_identical,
+        lemmas_ok=lemmas_ok,
+        error=error,
+        n_events=len(recorder.events),
+    )
+    return outcome, recorder.events
+
+
+def format_shard_campaign(report: ShardCampaignReport) -> str:
+    survived = report.n_runs - report.n_failed
+    lines = [
+        f"shard-kill campaign: seed={report.seed}, {report.n_runs} runs — "
+        f"{survived} survived, {report.n_failed} failed, "
+        f"{report.total_workers_killed} workers SIGKILLed"
+    ]
+    lines.append("")
+    lines.append(
+        f"{'run':>4} {'status':<10} {'shards':>6} {'killed':>6} {'redisp':>6} "
+        f"{'resume':>6} {'bitid':>6} {'L20':>4} {'L3/4':>5}  detail"
+    )
+    for o in report.outcomes:
+        flag = lambda v: "-" if v is None else ("PASS" if v else "FAIL")  # noqa: E731
+        detail = o.error if o.error else o.plan
+        lines.append(
+            f"{o.run_id:>4} {o.status:<10} {o.shards:>6} {o.workers_killed:>6} "
+            f"{o.redispatched:>6} {o.resumed:>6} {flag(o.bit_identical):>6} "
+            f"{flag(o.dispatch_identical):>4} {flag(o.lemmas_ok):>5}  {detail}"
+        )
+    lines.append("")
+    lines.append(
+        "SHARD CAMPAIGN OK: every kill recovered, reports bit-identical, "
+        "dispatch identity and lemma replay intact"
+        if report.ok
+        else "SHARD CAMPAIGN FAILED: a run failed, diverged from serial, or "
+        "broke dispatch identity / lemma replay"
     )
     return "\n".join(lines)

@@ -1,0 +1,525 @@
+"""Supervised multiprocessing worker pool for sharded simulation.
+
+:class:`WorkerPool` runs a batch of picklable *shard tasks* on a set of
+worker processes under coordinator-side supervision:
+
+* **liveness** — every worker runs a heartbeat thread; the coordinator
+  tracks the last beat and the process itself, so a SIGKILLed or wedged
+  worker is detected within one poll interval (``worker_lost``);
+* **hang detection** — a shard whose result has not arrived within
+  ``shard_timeout`` of its ``started`` acknowledgement gets its worker
+  killed and the shard re-dispatched (a heartbeat proves the *process* is
+  alive, not that the *shard* is making progress);
+* **bounded retry** — a lost shard is re-dispatched to a surviving worker
+  with exponential backoff (``shard_redispatch``) at most
+  ``max_redispatch`` extra times; lost workers are respawned up to
+  ``max_respawns`` times;
+* **graceful degradation** — when the pool is exhausted (no live workers
+  and no respawn budget, or a shard out of redispatch budget) the remaining
+  shards are computed serially in the coordinator (``pool_degraded``), so a
+  sharded run can always fall back to the exact serial path.
+
+Every lifecycle transition is emitted as a typed trace event through the
+attached :class:`~repro.core.shadow.SimulationContext` (``shard_dispatch``,
+``worker_heartbeat``, ``worker_lost``, ``shard_redispatch``,
+``pool_degraded``), with the pool's elapsed wall-clock seconds as the
+event's ``sim_time`` — monotone per stream, satisfying the ordering
+contract of :mod:`repro.core.tracing`.
+
+Process-level faults (:mod:`repro.faults.plan`, kinds ``worker_kill`` and
+``shard_hang``) are realised *here*: the coordinator SIGKILLs the worker
+that acknowledged the n-th dispatched shard, or injects a sleep into the
+n-th dispatched shard's payload.  Both spend the shared
+:class:`~repro.faults.injector.FaultInjector` budget, so the re-dispatched
+attempt runs clean — the transient-fault model, one level up the stack.
+
+Transport safety — the part that is easy to get fatally wrong: every
+worker owns **private** task and result queues.  A ``multiprocessing``
+queue's reader holds an inter-process lock while blocked in ``get``, so a
+SIGKILL delivered to a worker waiting on a *shared* task queue would leave
+that lock held by a corpse and deadlock every other reader.  With
+single-reader, single-writer queues per worker, a dying worker can only
+corrupt state nobody else will ever touch; the coordinator simply reaps it
+and re-dispatches its shard.
+"""
+
+from __future__ import annotations
+
+import importlib
+import os
+import signal
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from multiprocessing import get_all_start_methods, get_context
+from queue import Empty
+from typing import TYPE_CHECKING, Any, Callable
+
+from ..core.shadow import SimulationContext
+
+if TYPE_CHECKING:
+    from multiprocessing.context import BaseContext
+    from multiprocessing.process import BaseProcess
+    from multiprocessing.queues import Queue as MPQueue
+
+    from ..faults.injector import FaultInjector
+
+__all__ = ["PoolPolicy", "PoolStats", "WorkerPool"]
+
+#: Sleep injected into a shard payload by a ``shard_hang`` fault — long
+#: enough that only the pool's shard timeout can end the shard.
+_HANG_SECONDS = 3600.0
+
+#: Payload key carrying the injected hang; consumed by the worker, stripped
+#: by the coordinator on re-dispatch.
+_HANG_KEY = "_hang_s"
+
+
+@dataclass(frozen=True)
+class PoolPolicy:
+    """Supervision parameters of a :class:`WorkerPool`.
+
+    ``heartbeat_timeout`` bounds how stale a worker's last message may be
+    before it is declared lost; ``shard_timeout`` bounds how long one shard
+    may run after its ``started`` acknowledgement.  ``max_redispatch`` is a
+    *per-shard* retry budget (extra attempts beyond the first);
+    ``max_respawns`` a *pool-wide* replacement budget.  Backoff before a
+    re-dispatch is bounded exponential:
+    ``min(backoff_base * backoff_factor**k, max_backoff)``.
+    """
+
+    workers: int = 2
+    heartbeat_interval: float = 0.2
+    heartbeat_timeout: float = 10.0
+    shard_timeout: float = 60.0
+    max_redispatch: int = 3
+    max_respawns: int = 4
+    backoff_base: float = 0.02
+    backoff_factor: float = 2.0
+    max_backoff: float = 0.5
+    poll_interval: float = 0.02
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.heartbeat_interval <= 0 or self.heartbeat_timeout <= 0:
+            raise ValueError("heartbeat interval/timeout must be > 0")
+        if self.shard_timeout <= 0:
+            raise ValueError("shard_timeout must be > 0")
+
+
+@dataclass
+class PoolStats:
+    """Lifecycle counts of one :meth:`WorkerPool.run` call."""
+
+    dispatched: int = 0
+    completed: int = 0
+    redispatched: int = 0
+    workers_lost: int = 0
+    workers_spawned: int = 0
+    heartbeats: int = 0
+    degraded: bool = False
+    #: shards computed in the coordinator after degradation
+    serial_fallback: int = 0
+    #: ``(worker, reason)`` per lost worker, in detection order
+    losses: list[tuple[str, str]] = field(default_factory=list)
+
+
+def _resolve(module: str, func: str) -> Callable[[dict[str, Any]], Any]:
+    fn = getattr(importlib.import_module(module), func)
+    return fn  # type: ignore[no-any-return]
+
+
+def _worker_main(
+    worker_id: str,
+    task_queue: "MPQueue[Any]",
+    result_queue: "MPQueue[Any]",
+    heartbeat_interval: float,
+) -> None:
+    """Worker loop: acknowledge, compute, answer — with a heartbeat thread.
+
+    Runs in the child process; both queues are private to this worker.  Any
+    exception inside a shard computation is reported as an ``error`` message
+    (the coordinator decides whether to retry or degrade); the loop itself
+    only ends on the ``None`` sentinel.
+    """
+    import threading
+
+    stop = threading.Event()
+
+    def beat() -> None:
+        n = 0
+        while not stop.wait(heartbeat_interval):
+            n += 1
+            try:
+                result_queue.put(("heartbeat", worker_id, n, None))
+            except Exception:
+                return
+
+    threading.Thread(target=beat, daemon=True, name=f"{worker_id}-heartbeat").start()
+    try:
+        while True:
+            task = task_queue.get()
+            if task is None:
+                return
+            task_id, module, func, payload = task
+            try:
+                result_queue.put(("started", worker_id, task_id, None))
+                hang = payload.get(_HANG_KEY) if isinstance(payload, dict) else None
+                if hang:
+                    time.sleep(float(hang))
+                result = _resolve(module, func)(payload)
+                result_queue.put(("result", worker_id, task_id, result))
+            except BaseException as err:  # noqa: BLE001 — reported, not hidden
+                result_queue.put(
+                    ("error", worker_id, task_id, f"{type(err).__name__}: {err}")
+                )
+    finally:
+        stop.set()
+
+
+def _mp_context() -> "BaseContext":
+    # fork is preferred: worker start is milliseconds and the child inherits
+    # sys.path, so tests need no install step.  spawn is the portable
+    # fallback (PYTHONPATH is inherited through the environment).
+    if "fork" in get_all_start_methods():
+        return get_context("fork")
+    return get_context("spawn")
+
+
+class _Worker:
+    """Coordinator-side record of one worker process and its private queues."""
+
+    __slots__ = ("name", "process", "task_queue", "result_queue", "last_seen", "busy", "lost")
+
+    def __init__(
+        self,
+        name: str,
+        process: "BaseProcess",
+        task_queue: "MPQueue[Any]",
+        result_queue: "MPQueue[Any]",
+    ) -> None:
+        self.name = name
+        self.process = process
+        self.task_queue = task_queue
+        self.result_queue = result_queue
+        self.last_seen = time.monotonic()
+        self.busy: Any = None  # task id currently assigned, or None
+        self.lost = False
+
+    @property
+    def alive(self) -> bool:
+        return not self.lost and self.process.is_alive()
+
+
+class WorkerPool:
+    """One-shot supervised map of shard tasks over worker processes.
+
+    ``injector`` — if given — drives the process-level fault kinds:
+    ``worker_kill`` (SIGKILL the worker acknowledging the n-th dispatch) and
+    ``shard_hang`` (wedge the n-th dispatched shard).  Budgets are spent at
+    the moment the fault is realised, so re-dispatched attempts run clean.
+    """
+
+    def __init__(
+        self,
+        policy: PoolPolicy | None = None,
+        *,
+        context: SimulationContext | None = None,
+        injector: "FaultInjector | None" = None,
+        component: str = "pool",
+    ) -> None:
+        self.policy = policy if policy is not None else PoolPolicy()
+        self.context = context
+        self.injector = injector
+        self.component = component
+        self.stats = PoolStats()
+        self._t0 = time.monotonic()
+
+    # -- events ---------------------------------------------------------------
+
+    def _emit(self, kind: str, **payload: Any) -> None:
+        if self.context is not None:
+            self.context.emit(
+                kind, time.monotonic() - self._t0, self.component, **payload
+            )
+
+    # -- fault hooks ----------------------------------------------------------
+
+    def _kill_ordinals(self) -> set[int]:
+        if self.injector is None:
+            return set()
+        return {
+            max(spec.after_calls, 1)
+            for spec in self.injector.armed_specs("worker_kill")
+        }
+
+    def _hang_ordinal_due(self, ordinal: int) -> bool:
+        if self.injector is None:
+            return False
+        return any(
+            max(spec.after_calls, 1) == ordinal
+            for spec in self.injector.armed_specs("shard_hang")
+        )
+
+    # -- the supervised map ---------------------------------------------------
+
+    def run(
+        self,
+        tasks: list[tuple[Any, dict[str, Any]]],
+        module: str,
+        func: str,
+    ) -> dict[Any, Any]:
+        """Run every ``(task_id, payload)`` through ``module:func`` and return
+        ``{task_id: result}``.
+
+        Results are complete by construction: any shard the pool cannot
+        finish (lost workers, spent budgets) is computed serially in the
+        coordinator after a ``pool_degraded`` event.  A deterministic error
+        inside a shard eventually re-raises *in the coordinator* with its
+        structured type intact, via the same serial fallback.
+        """
+        if not tasks:
+            return {}
+        policy = self.policy
+        stats = self.stats
+        ctx = _mp_context()
+        workers: dict[str, _Worker] = {}
+        results: dict[Any, Any] = {}
+        payloads: dict[Any, dict[str, Any]] = {task_id: p for task_id, p in tasks}
+        attempts: dict[Any, int] = {task_id: 0 for task_id, _ in tasks}
+        #: shards waiting for a worker (earliest-dispatch times in not_before)
+        pending: deque[Any] = deque(task_id for task_id, _ in tasks)
+        not_before: dict[Any, float] = {}
+        started_at: dict[Any, float] = {}
+        dispatch_ordinal = 0
+        ordinal_of: dict[Any, int] = {}
+        pending_kills = self._kill_ordinals()
+        spawned = 0
+        outstanding = {task_id for task_id, _ in tasks}
+        degraded_reason: str | None = None
+
+        def spawn_worker() -> None:
+            nonlocal spawned
+            name = f"w{spawned}"
+            spawned += 1
+            task_queue: "MPQueue[Any]" = ctx.Queue()
+            result_queue: "MPQueue[Any]" = ctx.Queue()
+            process = ctx.Process(
+                target=_worker_main,
+                args=(name, task_queue, result_queue, policy.heartbeat_interval),
+                daemon=True,
+                name=f"repro-pool-{name}",
+            )
+            process.start()
+            workers[name] = _Worker(name, process, task_queue, result_queue)
+            stats.workers_spawned += 1
+
+        def dispatch(worker: _Worker, task_id: Any) -> None:
+            nonlocal dispatch_ordinal
+            dispatch_ordinal += 1
+            ordinal_of[task_id] = dispatch_ordinal
+            attempts[task_id] += 1
+            payload = dict(payloads[task_id])
+            payload.pop(_HANG_KEY, None)  # re-dispatches always run clean
+            if self._hang_ordinal_due(dispatch_ordinal):
+                payload[_HANG_KEY] = _HANG_SECONDS
+                assert self.injector is not None
+                self.injector.fire_external(
+                    "shard_hang",
+                    time.monotonic() - self._t0,
+                    shard=task_id,
+                    ordinal=dispatch_ordinal,
+                )
+            payloads[task_id] = payload
+            stats.dispatched += 1
+            redispatch = attempts[task_id] > 1
+            if redispatch:
+                stats.redispatched += 1
+            self._emit(
+                "shard_redispatch" if redispatch else "shard_dispatch",
+                shard=task_id,
+                worker=worker.name,
+                attempt=attempts[task_id],
+                ordinal=dispatch_ordinal,
+            )
+            worker.busy = task_id
+            worker.task_queue.put((task_id, module, func, payload))
+
+        def degrade(reason: str) -> None:
+            nonlocal degraded_reason
+            if degraded_reason is None:
+                degraded_reason = reason
+
+        def requeue(task_id: Any) -> None:
+            """Put a lost shard back on the pending queue, with backoff —
+            or declare the pool exhausted when its retry budget is spent."""
+            if task_id in results or task_id not in outstanding:
+                return
+            if attempts[task_id] > policy.max_redispatch:
+                degrade(f"shard {task_id!r} exhausted its redispatch budget")
+                return
+            k = max(attempts[task_id] - 1, 0)
+            backoff = min(
+                policy.backoff_base * policy.backoff_factor**k, policy.max_backoff
+            )
+            not_before[task_id] = time.monotonic() + backoff
+            pending.append(task_id)
+
+        def lose_worker(worker: _Worker, reason: str) -> None:
+            """Declare a worker dead, reap its process, free its shard."""
+            if worker.lost:
+                return
+            worker.lost = True
+            stats.workers_lost += 1
+            stats.losses.append((worker.name, reason))
+            shard = worker.busy
+            worker.busy = None
+            self._emit("worker_lost", worker=worker.name, reason=reason, shard=shard)
+            if worker.process.is_alive():
+                worker.process.kill()
+            worker.process.join(timeout=5.0)
+            if shard is not None:
+                started_at.pop(shard, None)
+                requeue(shard)
+
+        def drain_messages() -> None:
+            for worker in list(workers.values()):
+                while True:
+                    try:
+                        message = worker.result_queue.get_nowait()
+                    except (Empty, OSError, ValueError):
+                        break
+                    kind, wname, task_id, body = message
+                    worker.last_seen = time.monotonic()
+                    if kind == "heartbeat":
+                        stats.heartbeats += 1
+                        self._emit("worker_heartbeat", worker=wname, beat=task_id)
+                    elif kind == "started":
+                        started_at[task_id] = time.monotonic()
+                        ordinal = ordinal_of.get(task_id, 0)
+                        if ordinal in pending_kills and worker.alive:
+                            pending_kills.discard(ordinal)
+                            pid = worker.process.pid
+                            if self.injector is not None:
+                                self.injector.fire_external(
+                                    "worker_kill",
+                                    time.monotonic() - self._t0,
+                                    worker=wname,
+                                    shard=task_id,
+                                    pid=pid,
+                                )
+                            if pid is not None:
+                                os.kill(pid, signal.SIGKILL)
+                    elif kind == "result":
+                        if task_id in outstanding:
+                            outstanding.discard(task_id)
+                            results[task_id] = body
+                            stats.completed += 1
+                        if worker.busy == task_id:
+                            worker.busy = None
+                        started_at.pop(task_id, None)
+                    elif kind == "error":
+                        if worker.busy == task_id:
+                            worker.busy = None
+                        started_at.pop(task_id, None)
+                        if task_id in outstanding:
+                            self._emit(
+                                "worker_lost",
+                                worker=wname,
+                                reason="shard_error",
+                                shard=task_id,
+                                error=body,
+                            )
+                            requeue(task_id)
+
+        def check_liveness() -> None:
+            now = time.monotonic()
+            for worker in list(workers.values()):
+                if worker.lost:
+                    continue
+                if not worker.process.is_alive():
+                    lose_worker(worker, "dead")
+                elif now - worker.last_seen > policy.heartbeat_timeout:
+                    lose_worker(worker, "heartbeat_timeout")
+                elif (
+                    worker.busy is not None
+                    and worker.busy in started_at
+                    and now - started_at[worker.busy] > policy.shard_timeout
+                ):
+                    lose_worker(worker, "shard_timeout")
+
+        def ensure_capacity() -> None:
+            alive = sum(1 for w in workers.values() if w.alive)
+            want = min(policy.workers, max(1, len(outstanding)))
+            while alive < want and spawned < policy.workers + policy.max_respawns:
+                spawn_worker()
+                alive += 1
+            if alive == 0 and outstanding:
+                degrade("no live workers and the respawn budget is spent")
+
+        def assign_pending() -> None:
+            now = time.monotonic()
+            idle = deque(w for w in workers.values() if w.alive and w.busy is None)
+            deferred: list[Any] = []
+            while pending and idle:
+                task_id = pending.popleft()
+                if task_id in results or task_id not in outstanding:
+                    continue
+                if not_before.get(task_id, 0.0) > now:
+                    deferred.append(task_id)
+                    continue
+                dispatch(idle.popleft(), task_id)
+            pending.extend(deferred)
+
+        try:
+            for _ in range(min(policy.workers, len(tasks))):
+                spawn_worker()
+            assign_pending()
+            while outstanding and degraded_reason is None:
+                drain_messages()
+                if not outstanding:
+                    break
+                check_liveness()
+                ensure_capacity()
+                if degraded_reason is not None:
+                    break
+                assign_pending()
+                time.sleep(policy.poll_interval)
+            drain_messages()
+        finally:
+            for worker in workers.values():
+                if worker.alive:
+                    try:
+                        worker.task_queue.put_nowait(None)
+                    except Exception:
+                        pass
+            deadline = time.monotonic() + 1.0
+            for worker in workers.values():
+                worker.process.join(timeout=max(0.0, deadline - time.monotonic()))
+                if worker.process.is_alive():
+                    worker.process.kill()
+                    worker.process.join(timeout=5.0)
+            for worker in workers.values():
+                worker.task_queue.cancel_join_thread()
+                worker.task_queue.close()
+                worker.result_queue.cancel_join_thread()
+                worker.result_queue.close()
+
+        if outstanding:
+            # Pool exhausted: the serial path finishes the job, exactly.
+            stats.degraded = True
+            self._emit(
+                "pool_degraded",
+                reason=degraded_reason or "pool shut down with shards outstanding",
+                remaining=len(outstanding),
+            )
+            fn = _resolve(module, func)
+            for task_id in sorted(outstanding, key=lambda t: ordinal_of.get(t, 0)):
+                payload = dict(payloads[task_id])
+                payload.pop(_HANG_KEY, None)
+                results[task_id] = fn(payload)
+                stats.serial_fallback += 1
+                stats.completed += 1
+            outstanding.clear()
+        return results

@@ -144,6 +144,51 @@ class TestOutcomeModel:
         assert not CampaignReport(0, 1, (run,)).ok
 
 
+class TestRunTimeout:
+    def test_generous_timeout_changes_nothing(self):
+        a = run_campaign(5, 6)
+        b = run_campaign(5, 6, run_timeout=60.0)
+        assert a.outcomes == b.outcomes
+
+    def test_wedged_run_fails_structured(self, tmp_path, monkeypatch):
+        import time
+
+        import repro.runtime.chaos as chaos_mod
+
+        real = chaos_mod._run_one
+
+        def wedged(run_id, family, derived_seed, **kwargs):
+            time.sleep(0.5)
+            return real(run_id, family, derived_seed, **kwargs)
+
+        monkeypatch.setattr(chaos_mod, "_run_one", wedged)
+        out = tmp_path / "chaos.jsonl"
+        report = run_campaign(0, 2, run_timeout=0.05, out=out)
+        assert not report.ok
+        assert report.n_failed == 2
+        for outcome in report.outcomes:
+            assert outcome.status == "failed"
+            assert outcome.checkpoint == "run_timeout"
+            assert outcome.error and "RunTimeout" in outcome.error
+        events = read_jsonl(out)
+        assert any(e.kind == "run_timeout" for e in events)
+        # the abandoned runs still get run_meta headers in the sink
+        headers = [e for e in events if e.kind == "run_meta" and "run_id" in e.payload]
+        assert len(headers) == 2
+
+    def test_cli_timeout_preserves_nonzero_exit(self, capsys, monkeypatch):
+        import time
+
+        import repro.runtime.chaos as chaos_mod
+
+        monkeypatch.setattr(
+            chaos_mod, "_run_one",
+            lambda *a, **k: time.sleep(0.5) or (_ for _ in ()).throw(RuntimeError),
+        )
+        assert main(["chaos", "--n", "1", "--timeout", "0.05"]) == 1
+        assert "CAMPAIGN FAILED" in capsys.readouterr().out
+
+
 class TestCliExitCodes:
     def test_chaos_exits_zero_on_survival(self, capsys):
         assert main(["chaos", "--seed", "0", "--n", "3"]) == 0

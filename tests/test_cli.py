@@ -85,6 +85,31 @@ class TestFiguresAndTables:
         with pytest.raises(SystemExit):
             main(["cluster", "--densities", "loguniform", "--jobs", "5"])
 
+    def test_shard_serial(self, capsys):
+        out = run_cli(
+            capsys, "shard", "--machines", "3", "--jobs", "9", "--serial"
+        )
+        assert "bit-identical: True" in out
+        assert "serial (forced)" in out
+
+    def test_shard_pool(self, capsys):
+        out = run_cli(
+            capsys, "shard", "--machines", "2", "--jobs", "8", "--workers", "2"
+        )
+        assert "bit-identical: True" in out
+        assert "pool:" in out
+
+    def test_shard_rejects_nonuniform(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["shard", "--densities", "loguniform", "--jobs", "5", "--serial"])
+
+    def test_chaos_shard_campaign(self, capsys):
+        assert main(
+            ["chaos", "--shards", "--n", "1", "--jobs", "8", "--machines", "2",
+             "--kills", "1", "--hold", "0.08"]
+        ) == 0
+        assert "SHARD CAMPAIGN OK" in capsys.readouterr().out
+
     def test_table1_small(self, capsys):
         out = run_cli(
             capsys,

@@ -18,6 +18,7 @@ from repro.faults import (
     generate_plan,
     simulate_nc_par_with_failure,
 )
+from repro.parallel import simulate_nc_par
 from repro.workloads import random_instance
 
 ALPHA = 3.0
@@ -200,3 +201,59 @@ class TestMachineFailure:
             simulate_nc_par_with_failure(
                 inst, power, 1, dead_machine=0, fail_time=0.1
             )
+
+    def test_failure_at_t0_equals_one_fewer_machine(self):
+        """Dead on arrival: the machine never runs anything, so the cluster
+        behaves exactly like a (k-1)-machine run with indices shifted."""
+        power = PowerLaw(ALPHA)
+        inst = random_instance(12, seed=21, volume="uniform")
+        failed = simulate_nc_par_with_failure(
+            inst, power, 3, dead_machine=0, fail_time=0.0
+        )
+        plain = simulate_nc_par(inst, power, 2)
+        assert failed.assignments[0] == []
+        for survivor in (1, 2):
+            assert failed.assignments[survivor] == plain.assignments[survivor - 1]
+        assert failed.report(validate=True) == plain.report(validate=True)
+
+    def test_failure_after_last_completion_is_a_noop(self):
+        """A failure scheduled after the machine's last completion kills
+        nothing and requeues nothing: the run equals the plain NC-PAR run."""
+        power = PowerLaw(ALPHA)
+        inst = random_instance(12, seed=22, volume="uniform")
+        plain = simulate_nc_par(inst, power, 3)
+        horizon = max(
+            seg.t1 for sched in plain.schedules.values() for seg in sched.segments
+        )
+        ctx = _ctx(power)
+        failed = simulate_nc_par_with_failure(
+            inst, power, 3, dead_machine=1, fail_time=horizon + 1.0, context=ctx
+        )
+        assert failed.assignments == plain.assignments
+        assert failed.report(validate=True) == plain.report(validate=True)
+        assert ctx.recorder.events_of(kind="fault_injected") == []
+        assert ctx.metrics.get("machine_failures") == 0
+
+    def test_repeated_failures_same_machine_fire_once(self):
+        """Two machine_failure specs on the same machine in one run: the
+        machine can only die once, so exactly one budget is spent and the
+        second spec stays armed."""
+        power = PowerLaw(ALPHA)
+        inst = random_instance(10, seed=23, volume="uniform")
+        ctx = _ctx(power)
+        plan = FaultPlan(
+            0,
+            (
+                FaultSpec(kind="machine_failure", machine=0, at_time=0.2),
+                FaultSpec(kind="machine_failure", machine=0, at_time=0.4),
+            ),
+        )
+        inj = FaultInjector(plan, ctx)
+        run = simulate_nc_par_with_failure(
+            inst, power, 3, dead_machine=0, fail_time=0.2, context=ctx, injector=inj
+        )
+        assert len(inj.fired) == 1
+        assert len(inj.armed_specs("machine_failure")) == 1
+        assert len(ctx.recorder.events_of(kind="fault_injected")) == 1
+        scheduled = {j for jobs in run.assignments.values() for j in jobs}
+        assert scheduled == {j.job_id for j in inst}
