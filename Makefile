@@ -7,7 +7,7 @@
 PYTEST := PYTHONPATH=src python -m pytest
 PY := PYTHONPATH=src python
 
-.PHONY: install test bench bench-smoke bench-check lint typecheck check ci examples reproduce trace chaos clean
+.PHONY: install test bench bench-smoke bench-scale bench-check lint typecheck check ci examples reproduce trace chaos clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -23,6 +23,11 @@ bench:
 # tracing zero-overhead gate, and the supervisor-overhead gate.
 bench-smoke:
 	$(PYTEST) benchmarks/bench_general_density.py benchmarks/bench_ablation_eta_beta.py benchmarks/bench_tracing_overhead.py benchmarks/bench_supervisor_overhead.py benchmarks/bench_shard_scale.py --benchmark-only
+
+# The array-core n-scaling curve (writes benchmarks/out/BENCH_scale.json);
+# gated at a 20x fast-vs-scalar floor by check_bench_regression.py.
+bench-scale:
+	$(PYTEST) benchmarks/bench_scale.py --benchmark-only
 
 # Diff the freshly written BENCH_*.json against the committed baselines
 # (deterministic quantities must match; speedups must stay >= 5x).

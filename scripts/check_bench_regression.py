@@ -52,6 +52,9 @@ TIMING_KEYS = frozenset(
         "shard_pool_speedup",
         "shard_pool_speedup_largest",
         "shard_recovery_overhead",
+        "scalar_wall_s",
+        "fast_wall_s",
+        "scale_speedup",
     }
 )
 #: The one timing-derived key that still carries an acceptance floor.
@@ -65,10 +68,14 @@ OVERHEAD_KEY = "supervised_overhead"
 #: clean pool run.
 SHARD_SPEEDUP_KEY = "shard_pool_speedup_largest"
 SHARD_RECOVERY_KEY = "shard_recovery_overhead"
+#: Array-core gate (bench_scale): the fast shadow loop must beat the legacy
+#: scalar loop by at least this factor wherever both are timed.
+SCALE_SPEEDUP_KEY = "scale_speedup"
 DEFAULT_MIN_SPEEDUP = 5.0
 DEFAULT_MAX_OVERHEAD = 1.05
 DEFAULT_MIN_SHARD_SPEEDUP = 1.0
 DEFAULT_MAX_RECOVERY_OVERHEAD = 4.0
+DEFAULT_MIN_SCALE_SPEEDUP = 20.0
 DEFAULT_TOLERANCE = 1e-6
 
 
@@ -194,6 +201,13 @@ def main(argv: list[str] | None = None) -> int:
         help="acceptance ceiling for 'shard_recovery_overhead' (price of a "
         "SIGKILLed worker vs a clean pool run)",
     )
+    parser.add_argument(
+        "--min-scale-speedup",
+        type=float,
+        default=DEFAULT_MIN_SCALE_SPEEDUP,
+        help="acceptance floor for every fresh 'scale_speedup' value (fast "
+        "shadow loop vs the legacy scalar loop, bench_scale)",
+    )
     args = parser.parse_args(argv)
 
     fresh_files = sorted(args.fresh_dir.glob("BENCH_*.json"))
@@ -223,6 +237,12 @@ def main(argv: list[str] | None = None) -> int:
                     f"{path.name}: {spath} = {value:.3f} below the "
                     f"{args.min_shard_speedup:g}x shard-pool floor (pool "
                     f"slower than serial shard execution)"
+                )
+        for spath, value in collect_key(fresh, SCALE_SPEEDUP_KEY):
+            if value < args.min_scale_speedup:
+                problems.append(
+                    f"{path.name}: {spath} = {value:.1f} below the "
+                    f"{args.min_scale_speedup:g}x array-core floor"
                 )
         for spath, value in collect_key(fresh, SHARD_RECOVERY_KEY):
             if value > args.max_recovery_overhead:

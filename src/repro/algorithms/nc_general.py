@@ -211,20 +211,27 @@ class NCGeneralPolicy(SchedulingPolicy):
             or j_star not in inst
         ):
             # Boundary states (nothing of the current job processed yet):
-            # just run the shadow from scratch, it is short anyway.
-            run = simulate_clairvoyant(inst, self.power, until=t)
+            # just run the shadow from scratch, it is short anyway.  The
+            # legacy resume/fromscratch modes promise *bit-identical* results
+            # to each other, which only the scalar backend's sequential
+            # accumulation order can deliver across warm/cold histories.
+            run = simulate_clairvoyant(inst, self.power, until=t, backend="scalar")
         else:
             r_star = self._released[j_star][0]
             if self._ckpt is None or self._ckpt[0] != j_star:
                 others = [j for j in inst if j.job_id != j_star]
                 if others:
-                    pre = simulate_clairvoyant(Instance(others), self.power, until=r_star)
+                    pre = simulate_clairvoyant(
+                        Instance(others), self.power, until=r_star, backend="scalar"
+                    )
                     ck = dict(pre.remaining)
                 else:
                     ck = {}
                 self._ckpt = (j_star, r_star, ck)
             _, t0, ck = self._ckpt
-            run = simulate_clairvoyant(inst, self.power, until=t, resume=(t0, ck))
+            run = simulate_clairvoyant(
+                inst, self.power, until=t, resume=(t0, ck), backend="scalar"
+            )
         w_rem = sum(inst[jid].density * v for jid, v in run.remaining.items())
         return self.power.speed(w_rem)
 
@@ -273,6 +280,7 @@ class NCGeneralPolicy(SchedulingPolicy):
                 counters=self.counters,
                 recorder=self._recorder,
                 component="nc_general.shadow",
+                backend=getattr(getattr(self, "context", None), "backend", None),
             )
             for jid, (rel, rho) in self._released.items():
                 if jid != j_star and processed.get(jid, 0.0) > 0.0:

@@ -1,0 +1,752 @@
+"""Vectorized struct-of-arrays counterparts of the closed-form kernels.
+
+The scalar kernels in :mod:`repro.core.kernels` evaluate one job at a time;
+every function here evaluates a whole *population* in one call: all eleven
+closed forms accept numpy arrays (or scalars, broadcast as usual) over
+``(w0, rho, tau, alpha)`` and return ``float64`` arrays.  The algebra is
+identical — ``beta = 1 - 1/alpha`` linearises both dynamics, see
+:mod:`repro.core.kernels` — so the two families agree to float rounding
+(``tests/test_arraykernels.py`` pins the agreement per kernel and over full
+golden-corpus runs).
+
+Three backends provide the same eleven-callable surface through a small
+registry:
+
+* ``"numpy"`` (default) — the module-level functions below; one vectorized
+  expression per kernel over the whole population.
+* ``"scalar"`` — elementwise loops over the scalar twins; bit-identical to
+  :mod:`repro.core.kernels` per element and the fallback of last resort.
+* ``"numba"`` — optional compiled ufuncs; only registered when ``numba`` is
+  importable, otherwise requests for it degrade to ``"numpy"`` (the
+  degradation is observable via :func:`numba_available` and the
+  ``backend_selected`` trace event).
+
+Selection: :func:`get_backend` honors the ``REPRO_BACKEND`` environment
+variable (``scalar`` | ``numpy`` | ``numba``); consumers that take a
+``backend=`` parameter resolve it through :func:`resolve_backend`.
+
+:class:`ArrayPopulation` is the struct-of-arrays job-population state the
+shadow layer, the numeric engine and the benchmarks share: contiguous
+parallel arrays for id, release, density (+ rounded density class), volume
+and machine assignment, with amortized append and O(1) id->slot lookup.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from dataclasses import dataclass
+from importlib import util as _importlib_util
+from typing import Any, Callable, Iterable, cast
+
+import numpy as np
+import numpy.typing as npt
+
+from .errors import KernelDomainError
+from .job import Job
+
+__all__ = [
+    "FloatArray",
+    "KernelFn",
+    "KernelBackend",
+    "ArrayPopulation",
+    "DEFAULT_BACKEND",
+    "BACKEND_ENV_VAR",
+    "available_backends",
+    "numba_available",
+    "get_backend",
+    "resolve_backend",
+    "backend_payload",
+    "beta_of",
+    "speed_at",
+    "decay_weight_after",
+    "decay_time_between",
+    "decay_time_to_zero",
+    "decay_energy_between",
+    "decay_flow_integral",
+    "growth_weight_after",
+    "growth_time_between",
+    "growth_energy_between",
+    "growth_flow_integral",
+]
+
+FloatArray = npt.NDArray[np.float64]
+KernelFn = Callable[..., FloatArray]
+
+#: Environment variable consulted when no explicit backend is requested.
+BACKEND_ENV_VAR = "REPRO_BACKEND"
+#: Backend used when neither a parameter nor the environment names one.
+DEFAULT_BACKEND = "numpy"
+
+
+# ---------------------------------------------------------------------------
+# Broadcasting + vectorized domain checks
+# ---------------------------------------------------------------------------
+
+
+def _broadcast(*args: npt.ArrayLike) -> tuple[FloatArray, ...]:
+    arrays = [np.asarray(a, dtype=np.float64) for a in args]
+    return tuple(cast("list[FloatArray]", np.broadcast_arrays(*arrays)))
+
+
+def _context_at(
+    i: int, x: FloatArray, rho: FloatArray, t: FloatArray | None
+) -> dict[str, float | None]:
+    return {
+        "x": float(x.flat[i]),
+        "rho": float(rho.flat[i]),
+        "t": None if t is None else float(t.flat[i]),
+    }
+
+
+def _check_arrays(x: FloatArray, rho: FloatArray, t: FloatArray | None = None) -> None:
+    """Vectorized twin of ``kernels._check``: one pass over the population,
+    reporting the first offending element with its ``{x, rho, t}`` context."""
+    bad = (x < 0.0) | ~np.isfinite(x)
+    if bad.any():
+        i = int(np.flatnonzero(bad.ravel())[0])
+        raise KernelDomainError(
+            f"weight must be finite and non-negative, got {x.flat[i]}",
+            **_context_at(i, x, rho, t),
+        )
+    bad = (rho <= 0.0) | ~np.isfinite(rho)
+    if bad.any():
+        i = int(np.flatnonzero(bad.ravel())[0])
+        raise KernelDomainError(
+            f"density must be finite and positive, got {rho.flat[i]}",
+            **_context_at(i, x, rho, t),
+        )
+    if t is not None:
+        bad = (t < 0.0) | ~np.isfinite(t)
+        if bad.any():
+            i = int(np.flatnonzero(bad.ravel())[0])
+            raise KernelDomainError(
+                f"time must be finite and non-negative, got {t.flat[i]}",
+                **_context_at(i, x, rho, t),
+            )
+
+
+def _check_alpha(alpha: FloatArray) -> None:
+    bad = ~(alpha > 1.0)
+    if bad.any():
+        i = int(np.flatnonzero(bad.ravel())[0])
+        raise KernelDomainError(
+            f"alpha must exceed 1, got {alpha.flat[i]}", alpha=float(alpha.flat[i])
+        )
+
+
+def _check_upper(lo: FloatArray, hi: FloatArray, what: str) -> None:
+    bad = (lo < 0.0) | (lo > hi * (1.0 + 1e-12))
+    if bad.any():
+        i = int(np.flatnonzero(bad.ravel())[0])
+        raise KernelDomainError(
+            f"need 0 <= {what}, got {lo.flat[i]} vs {hi.flat[i]}",
+            x=float(hi.flat[i]),
+            rho=None,
+            t=None,
+        )
+
+
+# ---------------------------------------------------------------------------
+# The eleven kernels, numpy-vectorized (reference array implementations)
+# ---------------------------------------------------------------------------
+
+
+def beta_of(alpha: npt.ArrayLike) -> FloatArray:
+    """Vectorized ``beta = 1 - 1/alpha``."""
+    (a,) = _broadcast(alpha)
+    _check_alpha(a)
+    return cast(FloatArray, 1.0 - 1.0 / a)
+
+
+def speed_at(weight: npt.ArrayLike, alpha: npt.ArrayLike) -> FloatArray:
+    """Vectorized power-equals-weight speed ``s = weight**(1/alpha)``."""
+    w, a = _broadcast(weight, alpha)
+    _check_alpha(a)
+    bad = w < 0.0
+    if bad.any():
+        i = int(np.flatnonzero(bad.ravel())[0])
+        raise KernelDomainError(
+            f"weight must be non-negative, got {w.flat[i]}",
+            x=float(w.flat[i]),
+            rho=None,
+            t=None,
+        )
+    return cast(FloatArray, w ** (1.0 / a))
+
+
+def decay_weight_after(
+    w0: npt.ArrayLike, rho: npt.ArrayLike, t: npt.ArrayLike, alpha: npt.ArrayLike
+) -> FloatArray:
+    """Vectorized :func:`repro.core.kernels.decay_weight_after`."""
+    w0a, rhoa, ta, aa = _broadcast(w0, rho, t, alpha)
+    _check_arrays(w0a, rhoa, ta)
+    _check_alpha(aa)
+    beta = 1.0 - 1.0 / aa
+    base = w0a**beta - rhoa * beta * ta
+    return cast(FloatArray, np.maximum(base, 0.0) ** (1.0 / beta))
+
+
+def decay_time_between(
+    w0: npt.ArrayLike, w1: npt.ArrayLike, rho: npt.ArrayLike, alpha: npt.ArrayLike
+) -> FloatArray:
+    """Vectorized :func:`repro.core.kernels.decay_time_between`."""
+    w0a, w1a, rhoa, aa = _broadcast(w0, w1, rho, alpha)
+    _check_arrays(w0a, rhoa)
+    _check_upper(w1a, w0a, "w1 <= w0")
+    _check_alpha(aa)
+    beta = 1.0 - 1.0 / aa
+    return cast(FloatArray, np.maximum(0.0, (w0a**beta - w1a**beta) / (rhoa * beta)))
+
+
+def decay_time_to_zero(
+    w0: npt.ArrayLike, rho: npt.ArrayLike, alpha: npt.ArrayLike
+) -> FloatArray:
+    """Vectorized :func:`repro.core.kernels.decay_time_to_zero`."""
+    return decay_time_between(w0, 0.0, rho, alpha)
+
+
+def decay_energy_between(
+    w0: npt.ArrayLike, w1: npt.ArrayLike, rho: npt.ArrayLike, alpha: npt.ArrayLike
+) -> FloatArray:
+    """Vectorized :func:`repro.core.kernels.decay_energy_between`."""
+    w0a, w1a, rhoa, aa = _broadcast(w0, w1, rho, alpha)
+    _check_arrays(w0a, rhoa)
+    _check_upper(w1a, w0a, "w1 <= w0")
+    _check_alpha(aa)
+    beta = 1.0 - 1.0 / aa
+    return cast(
+        FloatArray,
+        np.maximum(
+            0.0, (w0a ** (1.0 + beta) - w1a ** (1.0 + beta)) / (rhoa * (1.0 + beta))
+        ),
+    )
+
+
+def decay_flow_integral(
+    w0: npt.ArrayLike, rho: npt.ArrayLike, tau: npt.ArrayLike, alpha: npt.ArrayLike
+) -> FloatArray:
+    """Vectorized :func:`repro.core.kernels.decay_flow_integral`."""
+    w0a, rhoa, taua, aa = _broadcast(w0, rho, tau, alpha)
+    w_end = decay_weight_after(w0a, rhoa, taua, aa)
+    energy = decay_energy_between(w0a, w_end, rhoa, aa)
+    # Zero-length segments are exactly 0 (scalar twin's ulp round-trip guard).
+    return cast(FloatArray, np.where(taua == 0.0, 0.0, (w0a * taua - energy) / rhoa))
+
+
+def growth_weight_after(
+    u0: npt.ArrayLike, rho: npt.ArrayLike, t: npt.ArrayLike, alpha: npt.ArrayLike
+) -> FloatArray:
+    """Vectorized :func:`repro.core.kernels.growth_weight_after`."""
+    u0a, rhoa, ta, aa = _broadcast(u0, rho, t, alpha)
+    _check_arrays(u0a, rhoa, ta)
+    _check_alpha(aa)
+    beta = 1.0 - 1.0 / aa
+    return cast(FloatArray, (u0a**beta + rhoa * beta * ta) ** (1.0 / beta))
+
+
+def growth_time_between(
+    u0: npt.ArrayLike, u1: npt.ArrayLike, rho: npt.ArrayLike, alpha: npt.ArrayLike
+) -> FloatArray:
+    """Vectorized :func:`repro.core.kernels.growth_time_between`."""
+    u0a, u1a, rhoa, aa = _broadcast(u0, u1, rho, alpha)
+    _check_arrays(u0a, rhoa)
+    _check_upper(u0a, u1a, "u0 <= u1")
+    _check_alpha(aa)
+    beta = 1.0 - 1.0 / aa
+    return cast(FloatArray, np.maximum(0.0, (u1a**beta - u0a**beta) / (rhoa * beta)))
+
+
+def growth_energy_between(
+    u0: npt.ArrayLike, u1: npt.ArrayLike, rho: npt.ArrayLike, alpha: npt.ArrayLike
+) -> FloatArray:
+    """Vectorized :func:`repro.core.kernels.growth_energy_between`."""
+    u0a, u1a, rhoa, aa = _broadcast(u0, u1, rho, alpha)
+    _check_arrays(u0a, rhoa)
+    _check_upper(u0a, u1a, "u0 <= u1")
+    _check_alpha(aa)
+    beta = 1.0 - 1.0 / aa
+    return cast(
+        FloatArray,
+        np.maximum(
+            0.0, (u1a ** (1.0 + beta) - u0a ** (1.0 + beta)) / (rhoa * (1.0 + beta))
+        ),
+    )
+
+
+def growth_flow_integral(
+    u0: npt.ArrayLike, rho: npt.ArrayLike, tau: npt.ArrayLike, alpha: npt.ArrayLike
+) -> FloatArray:
+    """Vectorized :func:`repro.core.kernels.growth_flow_integral`."""
+    u0a, rhoa, taua, aa = _broadcast(u0, rho, tau, alpha)
+    u_end = growth_weight_after(u0a, rhoa, taua, aa)
+    energy = growth_energy_between(u0a, u_end, rhoa, aa)
+    # Zero-length segments are exactly 0 (scalar twin's ulp round-trip guard).
+    return cast(FloatArray, np.where(taua == 0.0, 0.0, (energy - u0a * taua) / rhoa))
+
+
+_KERNEL_NAMES = (
+    "beta_of",
+    "speed_at",
+    "decay_weight_after",
+    "decay_time_between",
+    "decay_time_to_zero",
+    "decay_energy_between",
+    "decay_flow_integral",
+    "growth_weight_after",
+    "growth_time_between",
+    "growth_energy_between",
+    "growth_flow_integral",
+)
+
+
+# ---------------------------------------------------------------------------
+# ArrayPopulation — struct-of-arrays job-population state
+# ---------------------------------------------------------------------------
+
+
+class ArrayPopulation:
+    """Contiguous struct-of-arrays state for a job population.
+
+    Parallel arrays over slots ``[0, count)``: ``job_id``, ``release``,
+    ``density``, ``density_class`` (a rounded-density class id; 0 unless the
+    producer assigns classes), ``volume`` and ``machine``.  The meaning of
+    ``volume`` is the producer's: the shadow layer stores *remaining*
+    volumes, the numeric engine stores *processed* volumes.  Appends grow the
+    arrays geometrically, so building a population job-by-job is amortized
+    O(1) per job; :meth:`slot_of` is an O(1) dict lookup.
+    """
+
+    __slots__ = (
+        "job_id",
+        "release",
+        "density",
+        "density_class",
+        "volume",
+        "machine",
+        "count",
+        "_slot",
+    )
+
+    def __init__(self, capacity: int = 16) -> None:
+        capacity = max(int(capacity), 1)
+        self.job_id: npt.NDArray[np.int64] = np.zeros(capacity, dtype=np.int64)
+        self.release: FloatArray = np.zeros(capacity, dtype=np.float64)
+        self.density: FloatArray = np.zeros(capacity, dtype=np.float64)
+        self.density_class: npt.NDArray[np.int64] = np.zeros(capacity, dtype=np.int64)
+        self.volume: FloatArray = np.zeros(capacity, dtype=np.float64)
+        self.machine: npt.NDArray[np.int64] = np.zeros(capacity, dtype=np.int64)
+        self.count: int = 0
+        self._slot: dict[int, int] = {}
+
+    @classmethod
+    def from_jobs(cls, jobs: Iterable[Job], *, machine: int = 0) -> "ArrayPopulation":
+        """A population whose ``volume`` holds each job's full volume."""
+        jobs = list(jobs)
+        pop = cls(capacity=max(len(jobs), 1))
+        for job in jobs:
+            pop.append(job.job_id, job.release, job.density, job.volume, machine=machine)
+        return pop
+
+    def _grow(self) -> None:
+        new_cap = max(2 * self.job_id.size, 16)
+        for name in ("job_id", "release", "density", "density_class", "volume", "machine"):
+            old = getattr(self, name)
+            fresh = np.zeros(new_cap, dtype=old.dtype)
+            fresh[: self.count] = old[: self.count]
+            setattr(self, name, fresh)
+
+    def append(
+        self,
+        job_id: int,
+        release: float,
+        density: float,
+        volume: float,
+        *,
+        machine: int = 0,
+        density_class: int = 0,
+    ) -> int:
+        """Add one job; returns its slot index."""
+        if job_id in self._slot:
+            raise ValueError(f"job {job_id} already in the population")
+        if self.count >= self.job_id.size:
+            self._grow()
+        i = self.count
+        self.job_id[i] = job_id
+        self.release[i] = release
+        self.density[i] = density
+        self.density_class[i] = density_class
+        self.volume[i] = volume
+        self.machine[i] = machine
+        self.count = i + 1
+        self._slot[job_id] = i
+        return i
+
+    def __len__(self) -> int:
+        return self.count
+
+    def slot_of(self, job_id: int) -> int:
+        return self._slot[job_id]
+
+    def ids(self) -> npt.NDArray[np.int64]:
+        return self.job_id[: self.count]
+
+    def releases(self) -> FloatArray:
+        return self.release[: self.count]
+
+    def densities(self) -> FloatArray:
+        return self.density[: self.count]
+
+    def volumes(self) -> FloatArray:
+        return self.volume[: self.count]
+
+    def machines(self) -> npt.NDArray[np.int64]:
+        return self.machine[: self.count]
+
+    def active_mask(self) -> npt.NDArray[np.bool_]:
+        """Slots with positive volume (remaining work, for shadow-style use)."""
+        return cast("npt.NDArray[np.bool_]", self.volume[: self.count] > 0.0)
+
+    def weights(self) -> FloatArray:
+        """Per-slot fractional weight ``rho * volume``."""
+        return cast(FloatArray, self.density[: self.count] * self.volume[: self.count])
+
+    def total_weight(self) -> float:
+        """``sum(rho * volume)`` over the live prefix, in one dot product."""
+        return float(
+            np.dot(self.density[: self.count], self.volume[: self.count])
+        )
+
+    def hdf_order(self) -> npt.NDArray[np.intp]:
+        """Slot indices in highest-density-first order, FIFO tie-breaking —
+        the vectorized counterpart of the per-job ``(-rho, release, id)`` key."""
+        n = self.count
+        return np.lexsort((self.job_id[:n], self.release[:n], -self.density[:n]))
+
+    def speeds(self, alpha: float) -> FloatArray:
+        """Power-equals-weight speeds if each slot ran alone: one
+        whole-population kernel dispatch."""
+        return speed_at(self.weights(), alpha)
+
+
+# ---------------------------------------------------------------------------
+# Backend registry
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class KernelBackend:
+    """One resolved kernel-evaluation backend.
+
+    ``vector_width`` is the number of population elements a single kernel
+    dispatch evaluates natively: 1 for the scalar loop, 0 meaning *unbounded*
+    (whole population per call) for the array backends.  The eleven callables
+    share the array-in/array-out signature of the module-level kernels.
+    """
+
+    name: str
+    vector_width: int
+    uses_numba: bool
+    beta_of: KernelFn
+    speed_at: KernelFn
+    decay_weight_after: KernelFn
+    decay_time_between: KernelFn
+    decay_time_to_zero: KernelFn
+    decay_energy_between: KernelFn
+    decay_flow_integral: KernelFn
+    growth_weight_after: KernelFn
+    growth_time_between: KernelFn
+    growth_energy_between: KernelFn
+    growth_flow_integral: KernelFn
+
+    def kernel(self, name: str) -> KernelFn:
+        if name not in _KERNEL_NAMES:
+            raise KeyError(f"unknown kernel {name!r}")
+        return cast(KernelFn, getattr(self, name))
+
+
+def _elementwise(fn: Callable[..., float]) -> KernelFn:
+    """Lift a scalar kernel to the array signature by explicit looping —
+    bit-identical to the scalar twin per element."""
+
+    def wrapped(*args: npt.ArrayLike) -> FloatArray:
+        arrays = _broadcast(*args)
+        out = np.empty(arrays[0].shape, dtype=np.float64)
+        flats = [a.ravel() for a in arrays]
+        out_flat = out.ravel()
+        for i in range(out_flat.size):
+            out_flat[i] = fn(*(float(f[i]) for f in flats))
+        return out
+
+    return wrapped
+
+
+def _build_scalar_backend() -> KernelBackend:
+    from . import kernels as _k
+
+    return KernelBackend(
+        name="scalar",
+        vector_width=1,
+        uses_numba=False,
+        beta_of=_elementwise(_k.beta_of),
+        speed_at=_elementwise(_k.speed_at),
+        decay_weight_after=_elementwise(_k.decay_weight_after),
+        decay_time_between=_elementwise(_k.decay_time_between),
+        decay_time_to_zero=_elementwise(_k.decay_time_to_zero),
+        decay_energy_between=_elementwise(_k.decay_energy_between),
+        decay_flow_integral=_elementwise(_k.decay_flow_integral),
+        growth_weight_after=_elementwise(_k.growth_weight_after),
+        growth_time_between=_elementwise(_k.growth_time_between),
+        growth_energy_between=_elementwise(_k.growth_energy_between),
+        growth_flow_integral=_elementwise(_k.growth_flow_integral),
+    )
+
+
+def _build_numpy_backend() -> KernelBackend:
+    return KernelBackend(
+        name="numpy",
+        vector_width=0,
+        uses_numba=False,
+        beta_of=beta_of,
+        speed_at=speed_at,
+        decay_weight_after=decay_weight_after,
+        decay_time_between=decay_time_between,
+        decay_time_to_zero=decay_time_to_zero,
+        decay_energy_between=decay_energy_between,
+        decay_flow_integral=decay_flow_integral,
+        growth_weight_after=growth_weight_after,
+        growth_time_between=growth_time_between,
+        growth_energy_between=growth_energy_between,
+        growth_flow_integral=growth_flow_integral,
+    )
+
+
+def _build_numba_backend() -> KernelBackend | None:
+    """Compile the eleven closed forms as numba ufuncs; ``None`` when numba
+    is absent or compilation fails (the registry then serves numpy)."""
+    try:
+        from numba import vectorize  # type: ignore[import-not-found,import-untyped]
+    except Exception:
+        return None
+    try:
+        sig2 = ["float64(float64, float64)"]
+        sig3 = ["float64(float64, float64, float64)"]
+        sig4 = ["float64(float64, float64, float64, float64)"]
+
+        @vectorize(sig2, nopython=True)
+        def _speed_at(w: float, alpha: float) -> float:
+            return w ** (1.0 / alpha)
+
+        @vectorize(["float64(float64)"], nopython=True)
+        def _beta_of(alpha: float) -> float:
+            return 1.0 - 1.0 / alpha
+
+        @vectorize(sig4, nopython=True)
+        def _dwa(w0: float, rho: float, t: float, alpha: float) -> float:
+            beta = 1.0 - 1.0 / alpha
+            base = w0**beta - rho * beta * t
+            if base <= 0.0:
+                return 0.0
+            return base ** (1.0 / beta)
+
+        @vectorize(sig4, nopython=True)
+        def _dtb(w0: float, w1: float, rho: float, alpha: float) -> float:
+            beta = 1.0 - 1.0 / alpha
+            return max(0.0, (w0**beta - w1**beta) / (rho * beta))
+
+        @vectorize(sig3, nopython=True)
+        def _dtz(w0: float, rho: float, alpha: float) -> float:
+            beta = 1.0 - 1.0 / alpha
+            return w0**beta / (rho * beta)
+
+        @vectorize(sig4, nopython=True)
+        def _deb(w0: float, w1: float, rho: float, alpha: float) -> float:
+            beta = 1.0 - 1.0 / alpha
+            return max(
+                0.0, (w0 ** (1.0 + beta) - w1 ** (1.0 + beta)) / (rho * (1.0 + beta))
+            )
+
+        @vectorize(sig4, nopython=True)
+        def _dfi(w0: float, rho: float, tau: float, alpha: float) -> float:
+            if tau == 0.0:
+                return 0.0
+            beta = 1.0 - 1.0 / alpha
+            base = w0**beta - rho * beta * tau
+            w_end = base ** (1.0 / beta) if base > 0.0 else 0.0
+            energy = max(
+                0.0, (w0 ** (1.0 + beta) - w_end ** (1.0 + beta)) / (rho * (1.0 + beta))
+            )
+            return (w0 * tau - energy) / rho
+
+        @vectorize(sig4, nopython=True)
+        def _gwa(u0: float, rho: float, t: float, alpha: float) -> float:
+            beta = 1.0 - 1.0 / alpha
+            return (u0**beta + rho * beta * t) ** (1.0 / beta)
+
+        @vectorize(sig4, nopython=True)
+        def _gtb(u0: float, u1: float, rho: float, alpha: float) -> float:
+            beta = 1.0 - 1.0 / alpha
+            return max(0.0, (u1**beta - u0**beta) / (rho * beta))
+
+        @vectorize(sig4, nopython=True)
+        def _geb(u0: float, u1: float, rho: float, alpha: float) -> float:
+            beta = 1.0 - 1.0 / alpha
+            return max(
+                0.0, (u1 ** (1.0 + beta) - u0 ** (1.0 + beta)) / (rho * (1.0 + beta))
+            )
+
+        @vectorize(sig4, nopython=True)
+        def _gfi(u0: float, rho: float, tau: float, alpha: float) -> float:
+            if tau == 0.0:
+                return 0.0
+            beta = 1.0 - 1.0 / alpha
+            u_end = (u0**beta + rho * beta * tau) ** (1.0 / beta)
+            energy = max(
+                0.0, (u_end ** (1.0 + beta) - u0 ** (1.0 + beta)) / (rho * (1.0 + beta))
+            )
+            return (energy - u0 * tau) / rho
+
+        # Warm the compiled paths once so a broken toolchain fails here, not
+        # mid-run, and the registry can fall back cleanly.
+        _dwa(1.0, 1.0, 0.5, 3.0)
+        _gfi(1.0, 1.0, 0.5, 3.0)
+    except Exception:
+        return None
+
+    def _checked2(core: Any) -> KernelFn:
+        def fn(w: npt.ArrayLike, alpha: npt.ArrayLike) -> FloatArray:
+            wa, aa = _broadcast(w, alpha)
+            _check_alpha(aa)
+            return np.asarray(core(wa, aa), dtype=np.float64)
+
+        return fn
+
+    def _checked_t(core: Any) -> KernelFn:
+        def fn(
+            x: npt.ArrayLike, rho: npt.ArrayLike, t: npt.ArrayLike, alpha: npt.ArrayLike
+        ) -> FloatArray:
+            xa, rhoa, ta, aa = _broadcast(x, rho, t, alpha)
+            _check_arrays(xa, rhoa, ta)
+            _check_alpha(aa)
+            return np.asarray(core(xa, rhoa, ta, aa), dtype=np.float64)
+
+        return fn
+
+    def _checked_pair(core: Any, what: str, swap: bool) -> KernelFn:
+        def fn(
+            a: npt.ArrayLike, b: npt.ArrayLike, rho: npt.ArrayLike, alpha: npt.ArrayLike
+        ) -> FloatArray:
+            aa_, ba, rhoa, al = _broadcast(a, b, rho, alpha)
+            _check_arrays(aa_, rhoa)
+            if swap:
+                _check_upper(aa_, ba, what)
+            else:
+                _check_upper(ba, aa_, what)
+            _check_alpha(al)
+            return np.asarray(core(aa_, ba, rhoa, al), dtype=np.float64)
+
+        return fn
+
+    def _checked3(core: Any) -> KernelFn:
+        def fn(x: npt.ArrayLike, rho: npt.ArrayLike, alpha: npt.ArrayLike) -> FloatArray:
+            xa, rhoa, aa = _broadcast(x, rho, alpha)
+            _check_arrays(xa, rhoa)
+            _check_alpha(aa)
+            return np.asarray(core(xa, rhoa, aa), dtype=np.float64)
+
+        return fn
+
+    def _beta(alpha: npt.ArrayLike) -> FloatArray:
+        (aa,) = _broadcast(alpha)
+        _check_alpha(aa)
+        return np.asarray(_beta_of(aa), dtype=np.float64)
+
+    return KernelBackend(
+        name="numba",
+        vector_width=0,
+        uses_numba=True,
+        beta_of=_beta,
+        speed_at=_checked2(_speed_at),
+        decay_weight_after=_checked_t(_dwa),
+        decay_time_between=_checked_pair(_dtb, "w1 <= w0", swap=False),
+        decay_time_to_zero=_checked3(_dtz),
+        decay_energy_between=_checked_pair(_deb, "w1 <= w0", swap=False),
+        decay_flow_integral=_checked_t(_dfi),
+        growth_weight_after=_checked_t(_gwa),
+        growth_time_between=_checked_pair(_gtb, "u0 <= u1", swap=True),
+        growth_energy_between=_checked_pair(_geb, "u0 <= u1", swap=True),
+        growth_flow_integral=_checked_t(_gfi),
+    )
+
+
+_SCALAR_BACKEND = _build_scalar_backend()
+_NUMPY_BACKEND = _build_numpy_backend()
+_numba_backend_cache: KernelBackend | None = None
+_numba_backend_tried = False
+
+
+def _numba_backend() -> KernelBackend | None:
+    global _numba_backend_cache, _numba_backend_tried
+    if not _numba_backend_tried:
+        _numba_backend_tried = True
+        _numba_backend_cache = _build_numba_backend()
+    return _numba_backend_cache
+
+
+def numba_available() -> bool:
+    """Whether the optional compiled backend can be imported at all."""
+    try:
+        return _importlib_util.find_spec("numba") is not None
+    except (ImportError, ValueError):
+        return False
+
+
+def available_backends() -> tuple[str, ...]:
+    """Names accepted by :func:`get_backend`, usable on this interpreter."""
+    names = ["scalar", "numpy"]
+    if numba_available():
+        names.append("numba")
+    return tuple(names)
+
+
+def get_backend(name: str | None = None) -> KernelBackend:
+    """Resolve a backend by name.
+
+    ``None`` consults ``REPRO_BACKEND`` and falls back to
+    :data:`DEFAULT_BACKEND`.  Requesting ``"numba"`` when numba is missing
+    (or fails to compile) degrades to the numpy backend — the fallback
+    contract of the feature flag; :func:`backend_payload` makes the
+    degradation observable.  Unknown names raise :class:`ValueError`.
+    """
+    if name is None:
+        name = os.environ.get(BACKEND_ENV_VAR, "").strip() or DEFAULT_BACKEND
+    name = name.lower()
+    if name == "scalar":
+        return _SCALAR_BACKEND
+    if name == "numpy":
+        return _NUMPY_BACKEND
+    if name == "numba":
+        backend = _numba_backend()
+        return backend if backend is not None else _NUMPY_BACKEND
+    raise ValueError(
+        f"unknown kernel backend {name!r}; choose from "
+        f"{', '.join(('scalar', 'numpy', 'numba'))}"
+    )
+
+
+def resolve_backend(backend: "str | KernelBackend | None") -> KernelBackend:
+    """Normalize a ``backend=`` parameter: pass objects through, resolve
+    names (and ``None``, via the environment) through :func:`get_backend`."""
+    if isinstance(backend, KernelBackend):
+        return backend
+    return get_backend(backend)
+
+
+def backend_payload(backend: KernelBackend) -> dict[str, Any]:
+    """The ``backend_selected`` trace-event payload for a resolved backend."""
+    return {
+        "backend": backend.name,
+        "vector_width": backend.vector_width,
+        "uses_numba": backend.uses_numba,
+        "numba_available": numba_available(),
+    }

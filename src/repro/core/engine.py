@@ -22,6 +22,7 @@ import math
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 
+from .arraykernels import ArrayPopulation
 from .errors import SimulationError
 from .job import Instance
 from .oracle import VolumeOracle
@@ -50,7 +51,17 @@ class SchedulingPolicy(ABC):
       receives the now-revealed volume);
     * ``select_job`` / ``speed`` are called with monotonically non-decreasing
       times and reflect the policy's current view.
+
+    Policies that can evaluate their speed rule over the whole population in
+    one array pass set :attr:`vectorized` and implement
+    :meth:`speed_population`; the engine then maintains a struct-of-arrays
+    mirror of the processed volumes and calls that instead of :meth:`speed`
+    (unless the run's kernel backend is ``"scalar"``, which forces the
+    per-job reference path).
     """
+
+    #: Set by subclasses that implement :meth:`speed_population`.
+    vectorized: bool = False
 
     def bind(self, context: SimulationContext) -> None:
         """Attach the run's shared context (shadow factories + counters).
@@ -73,6 +84,34 @@ class SchedulingPolicy(ABC):
     @abstractmethod
     def speed(self, t: float, processed: dict[int, float]) -> float:
         """Machine speed at time ``t`` given per-job processed volumes."""
+
+    def speed_population(self, t: float, pop: ArrayPopulation) -> float:
+        """Machine speed at time ``t`` from the engine's struct-of-arrays
+        mirror (``pop.volume`` holds per-slot *processed* volumes; slots
+        appear in release order and persist after completion).
+
+        Only called when :attr:`vectorized` is True."""
+        raise NotImplementedError(
+            f"{type(self).__name__} sets vectorized=True but does not "
+            "implement speed_population"
+        )
+
+
+def _prefers_population(policy: SchedulingPolicy) -> bool:
+    """Whether the vectorized speed path may replace ``policy.speed``.
+
+    A subclass that overrides ``speed`` without touching ``speed_population``
+    (a test double, a tweaked rule) must keep its override in charge: walk
+    the MRO and let the most-derived class that defines either method decide.
+    """
+    if not policy.vectorized:
+        return False
+    for klass in type(policy).__mro__:
+        if "speed_population" in klass.__dict__:
+            return True
+        if "speed" in klass.__dict__:
+            return False
+    return False
 
 
 @dataclass(frozen=True)
@@ -134,6 +173,15 @@ class NumericEngine:
         releases = list(oracle.releases())  # FIFO order
         next_release = 0
         processed: dict[int, float] = {}
+        # Struct-of-arrays mirror of ``processed`` for vectorized policies.
+        # The dict stays the source of truth (oracle, interceptor, events);
+        # the mirror exists so the per-step speed probe needs no O(n) dict
+        # copy and the policy can evaluate its rule in one array pass.
+        pop = (
+            ArrayPopulation(capacity=max(len(releases), 1))
+            if _prefers_population(policy) and context.backend.name != "scalar"
+            else None
+        )
         active: set[int] = set()
         builder = ScheduleBuilder()
         t = 0.0
@@ -148,6 +196,8 @@ class NumericEngine:
             while next_release < len(releases) and releases[next_release].release <= now + 1e-15:
                 info = releases[next_release]
                 processed[info.job_id] = 0.0
+                if pop is not None:
+                    pop.append(info.job_id, info.release, info.density, 0.0)
                 active.add(info.job_id)
                 policy.on_release(info.release, info.job_id, info.density)
                 if rec is not None:
@@ -213,10 +263,20 @@ class NumericEngine:
             # The probe is clamped to the job's true volume so a coarse step
             # near completion cannot present the policy with an overshot state.
             true_volume = oracle._true_volume(job_id)
-            s0 = policy.speed(t, processed)
-            probe = dict(processed)
-            probe[job_id] = min(processed[job_id] + s0 * h / 2.0, true_volume)
-            s_mid = policy.speed(t + h / 2.0, probe)
+            if pop is None:
+                s0 = policy.speed(t, processed)
+                probe = dict(processed)
+                probe[job_id] = min(processed[job_id] + s0 * h / 2.0, true_volume)
+                s_mid = policy.speed(t + h / 2.0, probe)
+            else:
+                # Probe in place on the mirror: set the half-step volume,
+                # evaluate, restore.  No dict copy per step.
+                slot = pop.slot_of(job_id)
+                s0 = policy.speed_population(t, pop)
+                saved = float(pop.volume[slot])
+                pop.volume[slot] = min(saved + s0 * h / 2.0, true_volume)
+                s_mid = policy.speed_population(t + h / 2.0, pop)
+                pop.volume[slot] = saved
             if s_mid < 0 or not math.isfinite(s_mid):
                 raise SimulationError(
                     f"policy returned invalid speed {s_mid} at t={t}",
@@ -262,6 +322,8 @@ class NumericEngine:
                 dt = max(room, 0.0) / s_mid
                 builder.append(ConstantSegment(t, t + dt, job_id, s_mid))
                 processed[job_id] = true_volume
+                if pop is not None:
+                    pop.volume[pop.slot_of(job_id)] = true_volume
                 t += dt
                 t_phase = t
                 active.discard(job_id)
@@ -283,6 +345,8 @@ class NumericEngine:
                             value=corrupted,
                         )
                     processed[job_id] = corrupted
+                if pop is not None:
+                    pop.volume[pop.slot_of(job_id)] = processed[job_id]
                 t += h
             fire_releases(t)
 

@@ -18,6 +18,7 @@ __all__ = [
     "ReproError",
     "InvalidInstanceError",
     "InvalidPowerFunctionError",
+    "KernelDomainError",
     "ScheduleError",
     "ClairvoyanceViolationError",
     "SimulationError",
@@ -53,6 +54,20 @@ class InvalidInstanceError(ReproError):
 
 class InvalidPowerFunctionError(ReproError):
     """A power function failed validation (non-convex, decreasing, ...)."""
+
+
+class KernelDomainError(ReproError, ValueError):
+    """A closed-form kernel was called outside its domain.
+
+    Raised by the scalar kernels in :mod:`repro.core.kernels` and their
+    vectorized twins in :mod:`repro.core.arraykernels` when a weight, density
+    or time argument is negative or non-finite.  ``context`` always carries
+    the offending call under the machine-readable keys ``x`` (the weight-like
+    argument), ``rho`` and ``t`` (``None`` for kernels without a time
+    argument), so recovery code can branch on the values without parsing the
+    message.  Also a :class:`ValueError` for compatibility with callers that
+    guarded the pre-typed raise.
+    """
 
 
 class ScheduleError(ReproError):

@@ -22,6 +22,8 @@ from __future__ import annotations
 
 import math
 
+from .errors import KernelDomainError
+
 __all__ = [
     "beta_of",
     "speed_at",
@@ -40,14 +42,18 @@ __all__ = [
 def beta_of(alpha: float) -> float:
     """The exponent ``beta = 1 - 1/alpha`` governing the linearised dynamics."""
     if not alpha > 1.0:
-        raise ValueError(f"alpha must exceed 1, got {alpha}")
+        raise KernelDomainError(f"alpha must exceed 1, got {alpha}", x=None, rho=None, t=None)
     return 1.0 - 1.0 / alpha
 
 
 def speed_at(weight: float, alpha: float) -> float:
     """Speed from the power-equals-weight rule: ``s = weight**(1/alpha)``."""
+    if not alpha > 1.0:
+        raise KernelDomainError(f"alpha must exceed 1, got {alpha}", x=weight, rho=None, t=None)
     if weight < 0:
-        raise ValueError(f"weight must be non-negative, got {weight}")
+        raise KernelDomainError(
+            f"weight must be non-negative, got {weight}", x=weight, rho=None, t=None
+        )
     return weight ** (1.0 / alpha)
 
 
@@ -111,6 +117,10 @@ def decay_flow_integral(w0: float, rho: float, tau: float, alpha: float) -> floa
     energy.  Used for exact fractional flow-time accounting.
     """
     _check(w0, rho, tau)
+    if tau == 0.0:
+        # Exact zero: the w0 -> w0**beta -> w0 round trip below is off by an
+        # ulp, and the two rho divisions amplify that into O(ulp/rho**2).
+        return 0.0
     w_end = decay_weight_after(w0, rho, tau, alpha)
     energy = decay_energy_between(w0, w_end, rho, alpha)
     return (w0 * tau - energy) / rho
@@ -165,6 +175,9 @@ def growth_flow_integral(u0: float, rho: float, tau: float, alpha: float) -> flo
     ``(∫_0^tau X dt - u0*tau) / rho = (energy - u0*tau) / rho``.
     """
     _check(u0, rho, tau)
+    if tau == 0.0:
+        # Same ulp round-trip hazard as decay_flow_integral.
+        return 0.0
     u_end = growth_weight_after(u0, rho, tau, alpha)
     energy = growth_energy_between(u0, u_end, rho, alpha)
     return (energy - u0 * tau) / rho
@@ -172,8 +185,14 @@ def growth_flow_integral(u0: float, rho: float, tau: float, alpha: float) -> flo
 
 def _check(x: float, rho: float, t: float | None = None) -> None:
     if x < 0 or not math.isfinite(x):
-        raise ValueError(f"weight must be finite and non-negative, got {x}")
+        raise KernelDomainError(
+            f"weight must be finite and non-negative, got {x}", x=x, rho=rho, t=t
+        )
     if rho <= 0 or not math.isfinite(rho):
-        raise ValueError(f"density must be finite and positive, got {rho}")
+        raise KernelDomainError(
+            f"density must be finite and positive, got {rho}", x=x, rho=rho, t=t
+        )
     if t is not None and (t < 0 or not math.isfinite(t)):
-        raise ValueError(f"time must be finite and non-negative, got {t}")
+        raise KernelDomainError(
+            f"time must be finite and non-negative, got {t}", x=x, rho=rho, t=t
+        )

@@ -306,8 +306,16 @@ def deadline_energy_lower_bound(
 
     x = np.where(allowed, 1.0, 0.0)
     x *= (volumes / delta / np.maximum(allowed.sum(axis=1), 1))[:, None]
+    # Curvature reference speed: the average is not enough — a job whose
+    # window forces a high rate (large volume, tight deadline) makes the
+    # iterates visit speeds near the sum of the forced per-window rates, and
+    # a step sized for the average diverges there (the dual certificate then
+    # collapses far below the optimum).  Use the worst of the average and the
+    # total forced rate.
     s_typ = max(float(volumes.sum()) / horizon, 1e-9)
-    curv = alpha * (alpha - 1.0) * max(s_typ, 1.0) ** (alpha - 2.0) * delta * n
+    forced = float(np.sum(volumes / (delta * np.maximum(allowed.sum(axis=1), 1))))
+    s_ref = max(s_typ, forced, 1.0)
+    curv = alpha * (alpha - 1.0) * s_ref ** (alpha - 2.0) * delta * n
     step = 1.0 / max(curv, 1e-9)
 
     for _ in range(iterations):
