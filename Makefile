@@ -7,7 +7,7 @@
 PYTEST := PYTHONPATH=src python -m pytest
 PY := PYTHONPATH=src python
 
-.PHONY: install test bench bench-smoke bench-scale bench-check lint typecheck check ci examples reproduce trace chaos clean
+.PHONY: install test bench bench-smoke bench-scale bench-trace-scale bench-check lint typecheck check ci examples reproduce trace chaos clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -29,6 +29,12 @@ bench-smoke:
 bench-scale:
 	$(PYTEST) benchmarks/bench_scale.py --benchmark-only
 
+# Bounded-memory verification of a >= 10^6-event trace (writes
+# benchmarks/out/BENCH_trace_scale.json); the streaming peak-heap ceiling
+# and its flatness across event counts are gated by check_bench_regression.py.
+bench-trace-scale:
+	$(PYTEST) benchmarks/bench_trace_scale.py --benchmark-only
+
 # Diff the freshly written BENCH_*.json against the committed baselines
 # (deterministic quantities must match; speedups must stay >= 5x).
 bench-check:
@@ -43,7 +49,7 @@ lint:
 
 typecheck:
 	@if command -v mypy >/dev/null 2>&1; then \
-		MYPYPATH=src mypy --strict -p repro.core -p repro.faults -p repro.runtime -p repro.parallel; \
+		MYPYPATH=src mypy --strict -p repro.core -p repro.faults -p repro.runtime -p repro.parallel -m repro.analysis.streaming; \
 	else echo "mypy not installed; skipping (CI runs it)"; fi
 
 # The one-stop entrypoint: tier-1 tests, then the benchmark smoke gate.

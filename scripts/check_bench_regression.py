@@ -11,7 +11,7 @@ This script compares the two:
   expected to agree exactly; the tolerance absorbs intentional re-baselines
   of statistical quantities);
 * wall-clock-derived quantities (``wall_clock_s``, overhead ratios) are
-  skipped — they vary with the host — EXCEPT four one-sided gates: the
+  skipped — they vary with the host — EXCEPT the one-sided gates: the
   shadow-layer ``speedup`` must stay at or above ``--min-speedup`` (the
   repo's 5x acceptance floor); the supervisor's no-fault
   ``supervised_overhead`` must stay at or below ``--max-overhead`` (1.05,
@@ -19,6 +19,10 @@ This script compares the two:
   ``shard_pool_speedup_largest`` must stay at or above
   ``--min-shard-speedup`` (the pool beats serial shard execution) and its
   ``shard_recovery_overhead`` at or below ``--max-recovery-overhead``;
+  the streaming trace verifier's ``trace_peak_mb`` must stay at or below
+  ``--max-trace-peak-mb`` and its ``trace_peak_ratio`` (peak at 10^6 vs
+  10^4 events) at or below ``--max-trace-peak-ratio`` — bounded-memory
+  verification of million-event traces;
 * quantities present on only one side are reported (new benchmarks are fine;
   silently vanished ones are not).
 
@@ -55,6 +59,11 @@ TIMING_KEYS = frozenset(
         "scalar_wall_s",
         "fast_wall_s",
         "scale_speedup",
+        "events_per_s",
+        "trace_peak_mb",
+        "in_memory_peak_mb",
+        "trace_peak_ratio",
+        "ru_maxrss_mb",
     }
 )
 #: The one timing-derived key that still carries an acceptance floor.
@@ -71,11 +80,18 @@ SHARD_RECOVERY_KEY = "shard_recovery_overhead"
 #: Array-core gate (bench_scale): the fast shadow loop must beat the legacy
 #: scalar loop by at least this factor wherever both are timed.
 SCALE_SPEEDUP_KEY = "scale_speedup"
+#: Streaming-verification gates (bench_trace_scale): the one-pass report
+#: over a >= 10^6-event trace must fit a fixed heap ceiling, and its peak
+#: may not grow with the event count (10^6 vs 10^4 events ratio).
+TRACE_PEAK_KEY = "trace_peak_mb"
+TRACE_PEAK_RATIO_KEY = "trace_peak_ratio"
 DEFAULT_MIN_SPEEDUP = 5.0
 DEFAULT_MAX_OVERHEAD = 1.05
 DEFAULT_MIN_SHARD_SPEEDUP = 1.0
 DEFAULT_MAX_RECOVERY_OVERHEAD = 4.0
 DEFAULT_MIN_SCALE_SPEEDUP = 20.0
+DEFAULT_MAX_TRACE_PEAK_MB = 8.0
+DEFAULT_MAX_TRACE_PEAK_RATIO = 2.0
 DEFAULT_TOLERANCE = 1e-6
 
 
@@ -208,6 +224,20 @@ def main(argv: list[str] | None = None) -> int:
         help="acceptance floor for every fresh 'scale_speedup' value (fast "
         "shadow loop vs the legacy scalar loop, bench_scale)",
     )
+    parser.add_argument(
+        "--max-trace-peak-mb",
+        type=float,
+        default=DEFAULT_MAX_TRACE_PEAK_MB,
+        help="acceptance ceiling for every fresh 'trace_peak_mb' value (peak "
+        "heap of one-pass trace verification, bench_trace_scale)",
+    )
+    parser.add_argument(
+        "--max-trace-peak-ratio",
+        type=float,
+        default=DEFAULT_MAX_TRACE_PEAK_RATIO,
+        help="acceptance ceiling for 'trace_peak_ratio' (streaming peak at "
+        "10^6 events over 10^4 events — must stay ~flat)",
+    )
     args = parser.parse_args(argv)
 
     fresh_files = sorted(args.fresh_dir.glob("BENCH_*.json"))
@@ -249,6 +279,19 @@ def main(argv: list[str] | None = None) -> int:
                 problems.append(
                     f"{path.name}: {spath} = {value:.3f} above the "
                     f"{args.max_recovery_overhead:g}x shard-recovery ceiling"
+                )
+        for spath, value in collect_key(fresh, TRACE_PEAK_KEY):
+            if value > args.max_trace_peak_mb:
+                problems.append(
+                    f"{path.name}: {spath} = {value:.2f} MB above the "
+                    f"{args.max_trace_peak_mb:g} MB streaming-verification ceiling"
+                )
+        for spath, value in collect_key(fresh, TRACE_PEAK_RATIO_KEY):
+            if value > args.max_trace_peak_ratio:
+                problems.append(
+                    f"{path.name}: {spath} = {value:.2f} above the "
+                    f"{args.max_trace_peak_ratio:g}x peak-growth ceiling "
+                    f"(streaming memory is growing with the event count)"
                 )
         baseline = load_baseline(path.name, args.baseline_dir, args.baseline_ref)
         if baseline is None:

@@ -18,11 +18,17 @@ from .section4 import Section4Trace, shadow_properties
 from .statistics import FleetStats, JobStats, fleet_statistics, job_statistics
 from .suites import nonuniform_suite, uniform_suite
 from .sweeps import SweepPoint, alpha_grid, sweep
+from .streaming import (
+    IncrementalScheduleReplayer,
+    StreamingReportBuilder,
+    StreamOrderError,
+)
 from .trace_report import (
     ComponentStats,
     InvariantCheck,
     TraceReport,
     build_report,
+    build_report_in_memory,
     check_event_order,
     format_report,
     replay_schedule,
@@ -69,7 +75,11 @@ __all__ = [
     "InvariantCheck",
     "ComponentStats",
     "build_report",
+    "build_report_in_memory",
     "check_event_order",
     "format_report",
     "replay_schedule",
+    "StreamOrderError",
+    "StreamingReportBuilder",
+    "IncrementalScheduleReplayer",
 ]

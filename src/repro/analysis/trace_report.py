@@ -31,6 +31,7 @@ wall-time/event breakdown; :func:`format_report` renders it for the CLI.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable
 
 from ..core.job import Instance, Job
 from ..core.metrics import evaluate
@@ -52,6 +53,7 @@ __all__ = [
     "replay_schedule",
     "check_event_order",
     "build_report",
+    "build_report_in_memory",
     "format_report",
 ]
 
@@ -208,13 +210,38 @@ def _close(a: float, b: float, tol: float) -> bool:
     return abs(a - b) <= tol * max(1.0, abs(a), abs(b))
 
 
-def build_report(events: list[TraceEvent], *, rel_tol: float = REL_TOL) -> TraceReport:
+def build_report(events: Iterable[TraceEvent], *, rel_tol: float = REL_TOL) -> TraceReport:
     """Replay one trace and check every invariant it can support.
 
     Lemma 3 / Lemma 4 checks run for each ``(C, NC)`` component pair present
     in the trace (plain and capped); components with kernel events but no
     paired counterpart contribute their replayed energy informationally.
+
+    ``events`` may be any iterable — a list, :func:`~repro.core.tracing.iter_jsonl`
+    over a (possibly gzip-compressed) file, :func:`~repro.core.tracing.iter_trace`
+    over rotated segments, or a live :func:`~repro.core.tracing.follow_jsonl`
+    tail.  The report is computed in a **single pass with memory bounded by
+    the number of jobs**, never the number of events, and is bit-identical
+    to :func:`build_report_in_memory` (the pre-streaming implementation,
+    kept as a differential twin — ``tests/test_streaming.py`` proves parity
+    on the golden corpus).
     """
+    from .streaming import build_report_streaming
+
+    return build_report_streaming(events, rel_tol=rel_tol)
+
+
+def build_report_in_memory(
+    events: Iterable[TraceEvent], *, rel_tol: float = REL_TOL
+) -> TraceReport:
+    """The original list-materializing implementation of :func:`build_report`.
+
+    Kept as the differential twin for the streaming path (and as the
+    fallback for traces the one-pass replayer refuses, see
+    :class:`~repro.analysis.streaming.StreamOrderError`).  Memory is
+    proportional to the trace; prefer :func:`build_report`.
+    """
+    events = list(events)
     meta = instance_from_meta(events)
     checks: list[InvariantCheck] = []
     energies: dict[str, float] = {}

@@ -128,6 +128,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", default="repro_trace.jsonl", help="JSONL trace output path"
     )
     p_tr.add_argument(
+        "--sink", default="plain", metavar="SPEC",
+        help="trace sink: plain | gzip | rotate:N (bounded self-contained "
+        "segments of N events each)",
+    )
+    p_tr.add_argument(
         "--events", type=int, default=0, help="pretty-print the first N events"
     )
     p_tr.add_argument(
@@ -135,6 +140,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_tr.add_argument(
         "--case", default=None, help="corpus key (e.g. nc_uniform/...); requires --corpus"
+    )
+    p_tr.add_argument(
+        "--replay", default=None, metavar="PATH",
+        help="skip simulation: stream-verify an existing trace (plain JSONL, "
+        "gzip, or the base path of rotated segments) with bounded memory",
+    )
+    p_tr.add_argument(
+        "--follow", default=None, metavar="PATH",
+        help="tail a live JSONL trace, printing incremental progress and the "
+        "final verified report once the writer goes idle",
+    )
+    p_tr.add_argument(
+        "--poll", type=float, default=0.2,
+        help="--follow poll interval in seconds",
+    )
+    p_tr.add_argument(
+        "--idle-timeout", type=float, default=2.0,
+        help="--follow stops after this many idle seconds",
+    )
+    p_tr.add_argument(
+        "--progress-every", type=int, default=100_000,
+        help="--follow/--replay: print a progress line every N events",
     )
     _add_workload_args(p_tr)
 
@@ -146,6 +173,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_ch.add_argument("--jobs", type=int, default=8, help="jobs per scenario")
     p_ch.add_argument("--machines", type=int, default=3, help="machines (parallel runs)")
     p_ch.add_argument("--out", default=None, help="append every run's trace to this JSONL file")
+    p_ch.add_argument(
+        "--sink", default="plain", metavar="SPEC",
+        help="campaign trace sink for --out: plain | gzip | rotate:N",
+    )
     p_ch.add_argument(
         "--timeout", type=float, default=None,
         help="per-run wall-clock budget in seconds; a run exceeding it is "
@@ -182,6 +213,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_sh.add_argument(
         "--serial", action="store_true",
         help="compute shards in-process instead of on the pool",
+    )
+    p_sh.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="record the sharded run (plus a traced C/NC pair when uniform-"
+        "density) to this JSONL and re-verify it in one streaming pass",
     )
     _add_workload_args(p_sh)
 
@@ -336,6 +372,7 @@ def _cmd_chaos(args: argparse.Namespace) -> tuple[str, int]:
             shard_hold=args.hold,
             checkpoint_dir=args.checkpoint_dir,
             out=args.out,
+            sink_spec=args.sink,
         )
         text = format_shard_campaign(shard_report)
         if args.out:
@@ -348,6 +385,7 @@ def _cmd_chaos(args: argparse.Namespace) -> tuple[str, int]:
         alpha=args.alpha,
         machines=args.machines,
         out=args.out,
+        sink_spec=args.sink,
         run_timeout=args.timeout,
     )
     text = format_campaign(report)
@@ -364,16 +402,59 @@ def _cmd_shard(args: argparse.Namespace) -> tuple[str, int]:
     inst = _workload(args)
     if args.algorithm == "nc_par" and not inst.is_uniform_density():
         raise SystemExit("shard --algorithm nc_par requires --densities unit")
-    result = run_sharded(
-        inst,
-        power,
-        args.machines,
-        algorithm=args.algorithm,
-        n_shards=args.n_shards,
-        policy=PoolPolicy(workers=args.workers),
-        checkpoint_dir=args.checkpoint_dir,
-        force_serial=args.serial,
-    )
+    trace_lines: list[str] = []
+    trace_ok = True
+    context = None
+    recorder = None
+    if args.trace:
+        from .core.shadow import SimulationContext
+        from .core.tracing import JsonlRecorder
+
+        recorder = JsonlRecorder(args.trace)
+        context = SimulationContext(power, recorder=recorder)
+        context.emit(
+            "run_meta",
+            0.0,
+            "harness",
+            alpha=args.alpha,
+            instance=[[j.job_id, j.release, j.volume, j.density] for j in inst],
+            algorithms=[args.algorithm],
+        )
+        if inst.is_uniform_density():
+            # A traced single-machine pair gives the replayer a Lemma 3/4
+            # target; the shard lifecycle events ride along in the same file.
+            from .algorithms import simulate_clairvoyant, simulate_nc_uniform
+
+            simulate_clairvoyant(inst, power, context=context)
+            simulate_nc_uniform(inst, power, context=context)
+    try:
+        result = run_sharded(
+            inst,
+            power,
+            args.machines,
+            algorithm=args.algorithm,
+            n_shards=args.n_shards,
+            policy=PoolPolicy(workers=args.workers),
+            context=context,
+            checkpoint_dir=args.checkpoint_dir,
+            force_serial=args.serial,
+        )
+    finally:
+        if recorder is not None:
+            recorder.close()
+    if args.trace:
+        from .parallel.shard import verify_shard_trace
+
+        trace_report = verify_shard_trace(args.trace)
+        trace_ok = trace_report.ok
+        checks = ", ".join(
+            f"{'PASS' if c.holds else 'FAIL'} {c.name}" for c in trace_report.checks
+        ) or "no replayable pair"
+        trace_lines = [
+            "",
+            f"trace written to {args.trace} ({trace_report.n_events} events); "
+            f"streamed re-verification: {'OK' if trace_ok else 'FAILED'} ({checks})",
+        ]
     serial = result.cluster.report()
     bit_identical = result.report == serial
     rows = [
@@ -396,17 +477,103 @@ def _cmd_shard(args: argparse.Namespace) -> tuple[str, int]:
         f"checkpoint; bit-identical: {bit_identical}",
         floatfmt=".6g",
     )
-    return table, 0 if bit_identical else 1
+    return table + "\n".join(trace_lines), 0 if (bit_identical and trace_ok) else 1
 
 
-def _cmd_trace(args: argparse.Namespace) -> str:
+def _verify_stream(events, *, progress_every: int, reopen=None) -> tuple[str, int]:
+    """Stream ``events`` through the one-pass verifier; render report or error.
+
+    Progress lines go straight to stdout (the caller's return text follows
+    them); a :class:`~repro.core.errors.ScheduleError` — e.g. a torn final
+    attempt in a live tail — comes back as a nonzero-exit verdict instead of
+    a traceback.  ``reopen`` (a zero-arg callable yielding a fresh iterator
+    over the same trace) enables the in-memory fallback when the one-pass
+    replayer refuses an out-of-order kernel stream.
+    """
+    from .analysis.streaming import StreamOrderError, StreamingReportBuilder
+    from .analysis.trace_report import REL_TOL, build_report_in_memory, format_report
+    from .core.errors import ScheduleError
+
+    builder = StreamingReportBuilder(rel_tol=REL_TOL)
+    n = 0
+    try:
+        for e in events:
+            builder.feed(e)
+            n += 1
+            if progress_every > 0 and n % progress_every == 0:
+                print(f"  ... {n} events verified", flush=True)
+        report = builder.finish()
+    except StreamOrderError as exc:
+        # The one-pass replayer refuses out-of-order kernel streams; the
+        # list-materializing twin sorts before summing, so re-read the trace
+        # through it when the source can be reopened.
+        if reopen is None:
+            return (
+                f"streaming replay refused after {n} events: {exc}\n"
+                "(re-run with --replay on the finished trace to use the "
+                "in-memory fallback)",
+                1,
+            )
+        print(f"  streaming replay refused ({exc}); falling back to in-memory")
+        report = build_report_in_memory(reopen())
+    except ScheduleError as exc:
+        return (
+            f"verified {n} events, then replay FAILED: {exc}\n"
+            "(partial or corrupt trace — if the writer is still running, "
+            "re-run --follow with a larger --idle-timeout)",
+            1,
+        )
+    return format_report(report), 0 if report.ok else 1
+
+
+def _trace_source(path: str):
+    """Resolve a ``--replay`` path to an event iterator.
+
+    Accepts a plain/gzip JSONL file, or the *base* path of a rotated sink
+    (``trace.jsonl`` finds ``trace.00000.jsonl`` …) whose segment headers
+    are stripped so the stream reads as one trace.
+    """
+    from pathlib import Path
+
+    from .core.tracing import iter_trace, rotated_paths
+
+    p = Path(path)
+    if p.exists():
+        return iter_trace([p])
+    segments = rotated_paths(p)
+    if segments:
+        return iter_trace(segments)
+    raise SystemExit(f"no trace at {path} (and no rotated segments {p.stem}.NNNNN*)")
+
+
+def _cmd_trace(args: argparse.Namespace) -> str | tuple[str, int]:
     import json
 
     from .algorithms import simulate_clairvoyant, simulate_nc_uniform
     from .analysis.trace_report import build_report, format_report
     from .core.errors import InvalidInstanceError
     from .core.shadow import SimulationContext
-    from .core.tracing import JsonlRecorder, read_jsonl
+    from .core.tracing import JsonlRecorder, follow_jsonl, iter_trace
+
+    if args.replay is not None and args.follow is not None:
+        raise SystemExit("--replay and --follow are mutually exclusive")
+    if args.replay is not None:
+        text, code = _verify_stream(
+            _trace_source(args.replay),
+            progress_every=args.progress_every,
+            reopen=lambda: _trace_source(args.replay),
+        )
+        return f"replaying {args.replay}\n" + text, code
+    if args.follow is not None:
+        text, code = _verify_stream(
+            follow_jsonl(
+                args.follow,
+                poll_interval=args.poll,
+                idle_timeout=args.idle_timeout,
+            ),
+            progress_every=args.progress_every,
+        )
+        return f"followed {args.follow} to idle\n" + text, code
 
     if args.case is not None:
         if args.corpus is None:
@@ -431,7 +598,7 @@ def _cmd_trace(args: argparse.Namespace) -> str:
             "use --densities unit or a nc_uniform/ corpus case"
         )
 
-    with JsonlRecorder(args.out) as recorder:
+    with JsonlRecorder(args.out, sink=args.sink) as recorder:
         context = SimulationContext(power, recorder=recorder)
         context.emit(
             "run_meta",
@@ -444,18 +611,30 @@ def _cmd_trace(args: argparse.Namespace) -> str:
         simulate_clairvoyant(inst, power, context=context)
         simulate_nc_uniform(inst, power, context=context)
 
-    events = read_jsonl(args.out)
-    report = build_report(events)
-    out = [f"trace written to {args.out} ({len(events)} events)"]
+    # Read back through the sink's own paths (a rotate sink writes numbered
+    # segments, not args.out itself) in one streaming pass, keeping only the
+    # first --events for display.
+    paths = recorder.paths
+    shown: list = []
+
+    def _stream():
+        for e in iter_trace(paths):
+            if len(shown) < args.events:
+                shown.append(e)
+            yield e
+
+    report = build_report(_stream())
+    where = ", ".join(str(p) for p in paths)
+    out = [f"trace written to {where} ({report.n_events} events)"]
     if args.events > 0:
         out.append("")
-        for e in events[: args.events]:
+        for e in shown:
             payload = ", ".join(f"{k}={v}" for k, v in e.payload.items())
             out.append(
                 f"  [{e.component:>10}] {e.kind:<18} sim_t={e.sim_time:<12.6g} {payload}"
             )
-        if len(events) > args.events:
-            out.append(f"  ... ({len(events) - args.events} more)")
+        if report.n_events > args.events:
+            out.append(f"  ... ({report.n_events - args.events} more)")
     out.append("")
     out.append(format_report(report))
     return "\n".join(out)

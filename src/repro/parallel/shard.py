@@ -44,7 +44,7 @@ import json
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import TYPE_CHECKING, Any
+from typing import TYPE_CHECKING, Any, Iterable
 
 from ..algorithms.clairvoyant import simulate_clairvoyant
 from ..core.errors import InvalidInstanceError, SimulationError
@@ -59,6 +59,8 @@ from .cluster import ClusterRun
 from .nc_par import simulate_nc_par
 
 if TYPE_CHECKING:
+    from ..analysis.trace_report import TraceReport
+    from ..core.tracing import TraceEvent
     from ..faults.injector import FaultInjector
     from ..runtime.pool import PoolPolicy, PoolStats
 
@@ -69,6 +71,7 @@ __all__ = [
     "plan_shards",
     "compute_shard",
     "run_sharded",
+    "verify_shard_trace",
 ]
 
 ALGORITHMS = ("nc_par", "c_par")
@@ -458,3 +461,28 @@ def _default_shards(cluster: ClusterRun, policy: "PoolPolicy | None") -> int:
     loaded = sum(1 for jobs in cluster.assignments.values() if jobs)
     workers = policy.workers if policy is not None else 2
     return max(1, min(loaded, workers * 2))
+
+
+def verify_shard_trace(
+    source: "str | Path | Iterable[TraceEvent]", *, rel_tol: float = 1e-9
+) -> "TraceReport":
+    """Re-verify a sharded run's written trace in one bounded-memory pass.
+
+    ``source`` is a trace path (plain JSONL, gzip, or a sequence of rotated
+    segments via a path-to-first-segment's siblings) or any event iterable —
+    typically the JSONL a supervised sharded run recorded, including its
+    ``worker_lost`` / ``shard_redispatch`` lifecycle events and the traced
+    single-machine (C, NC) pair.  The Lemma 3/4 replay, ordering contract
+    and per-component stats come back as a
+    :class:`~repro.analysis.trace_report.TraceReport` built by the streaming
+    aggregators, so campaign-scale traces verify without materializing the
+    event list.
+    """
+    from ..analysis.trace_report import build_report
+    from ..core.tracing import iter_trace
+
+    if isinstance(source, (str, Path)):
+        events: Iterable[TraceEvent] = iter_trace(source)
+    else:
+        events = source
+    return build_report(events, rel_tol=rel_tol)

@@ -33,12 +33,12 @@ from __future__ import annotations
 import threading
 from dataclasses import dataclass
 from pathlib import Path
-from typing import TextIO
+from typing import Any, Iterable, Iterator
 
-from ..analysis.trace_report import build_report
+from ..analysis.trace_report import REL_TOL, TraceReport, build_report
 from ..core.errors import ReproError, ScheduleError
 from ..core.shadow import SimulationContext
-from ..core.tracing import MemoryRecorder, TraceEvent
+from ..core.tracing import MemoryRecorder, TraceEvent, TraceSink, iter_trace, make_sink
 from ..extensions.bounded_speed import CappedPowerLaw, simulate_clairvoyant_capped
 from ..algorithms.clairvoyant import simulate_clairvoyant
 from ..algorithms.nc_uniform import simulate_nc_uniform
@@ -60,6 +60,9 @@ __all__ = [
     "run_pair_verified",
     "run_campaign",
     "run_shard_campaign",
+    "iter_campaign_runs",
+    "RunVerification",
+    "verify_campaign_trace",
     "format_campaign",
     "format_shard_campaign",
 ]
@@ -197,15 +200,18 @@ def run_campaign(
     alpha: float = 3.0,
     machines: int = 3,
     out: str | Path | None = None,
+    sink_spec: str = "plain",
     policy: RecoveryPolicy | None = None,
     run_timeout: float | None = None,
 ) -> CampaignReport:
     """Run a seeded campaign of ``n_runs`` fault scenarios.
 
     With ``out`` given, every run's full trace (including ``fault_injected``
-    and ``recovery`` events) is appended to one JSONL file; the per-run
-    ``run_meta`` header carries ``run_id``/``family``/``plan`` so the file
-    partitions cleanly on re-read.
+    and ``recovery`` events) is appended to one JSONL sink — plain, gzip, or
+    rotating segments per ``sink_spec`` (see
+    :func:`~repro.core.tracing.make_sink`); the per-run ``run_meta`` header
+    carries ``run_id``/``family``/``plan`` so the file partitions cleanly on
+    re-read (:func:`iter_campaign_runs`).
 
     ``run_timeout`` (seconds) bounds each run's wall clock.  A run that
     exceeds it is abandoned where it stands, marked **failed** with a
@@ -214,7 +220,7 @@ def run_campaign(
     writes happen here after the verdict.
     """
     outcomes: list[RunOutcome] = []
-    sink = Path(out).open("w", encoding="utf-8") if out is not None else None
+    sink = make_sink(out, sink_spec) if out is not None else None
     try:
         for i in range(n_runs):
             derived = seed * 1_000_003 + i
@@ -225,26 +231,123 @@ def run_campaign(
             )
             outcomes.append(outcome)
             if sink is not None:
-                _write_run(sink, outcome, events)
+                header = {
+                    "run_id": outcome.run_id,
+                    "family": outcome.family,
+                    "seed": outcome.seed,
+                    "plan": outcome.plan,
+                    "status": outcome.status,
+                }
+                _write_run(sink, header, events)
+                sink.flush()
     finally:
         if sink is not None:
             sink.close()
     return CampaignReport(seed=seed, n_runs=n_runs, outcomes=tuple(outcomes))
 
 
-def _write_run(sink: TextIO, outcome: RunOutcome, events: list[TraceEvent]) -> None:
-    header = {
-        "run_id": outcome.run_id,
-        "family": outcome.family,
-        "seed": outcome.seed,
-        "plan": outcome.plan,
-        "status": outcome.status,
-    }
-    rec = MemoryRecorder()
-    rec.emit("run_meta", 0.0, "campaign", **header)
-    sink.write(rec.events[0].to_json() + "\n")
+def _write_run(sink: TraceSink, header: dict[str, Any], events: Iterable[TraceEvent]) -> None:
+    """One run's slot in a campaign trace: a ``campaign`` header, then the
+    run's own events (whose first event is the run's ``run_meta`` with the
+    instance)."""
+    header_event = TraceEvent(
+        kind="run_meta", sim_time=0.0, wall_time=0.0, component="campaign", payload=header
+    )
+    sink.write("run_meta", header_event.to_json())
     for event in events:
-        sink.write(event.to_json() + "\n")
+        sink.write(event.kind, event.to_json())
+
+
+def _campaign_events(
+    source: str | Path | Iterable[TraceEvent],
+) -> Iterator[TraceEvent]:
+    if isinstance(source, (str, Path)):
+        return iter_trace(source)
+    return iter(source)
+
+
+def iter_campaign_runs(
+    source: str | Path | Iterable[TraceEvent],
+) -> Iterator[tuple[dict[str, Any], list[TraceEvent]]]:
+    """Split a campaign trace back into its per-run slots.
+
+    Yields ``(header, events)`` for every ``campaign`` ``run_meta`` header in
+    the stream; ``source`` may be a written trace path (plain or gzip) or any
+    event iterable.  Memory is bounded by the largest single run, not the
+    campaign.
+    """
+    header: dict[str, Any] | None = None
+    events: list[TraceEvent] = []
+    for event in _campaign_events(source):
+        if event.kind == "run_meta" and event.component == "campaign":
+            if header is not None:
+                yield header, events
+            header = dict(event.payload)
+            events = []
+            continue
+        if header is not None:
+            events.append(event)
+    if header is not None:
+        yield header, events
+
+
+@dataclass(frozen=True)
+class RunVerification:
+    """Streaming re-verification verdict for one run slot of a campaign trace."""
+
+    header: dict[str, Any]
+    report: TraceReport | None
+    error: str | None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None and self.report is not None and self.report.ok
+
+
+def verify_campaign_trace(
+    source: str | Path | Iterable[TraceEvent], *, rel_tol: float = REL_TOL
+) -> list[RunVerification]:
+    """Re-verify every run of a written campaign trace in one streaming pass.
+
+    Each run slot gets its own
+    :class:`~repro.analysis.streaming.StreamingReportBuilder`, so memory
+    stays bounded by one run's job count no matter how long the campaign
+    file is.  A run whose replay raises :class:`ScheduleError` (a failed
+    run's torn schedule) is reported with the error instead of a report —
+    the same judgement the live campaign makes.
+    """
+    from ..analysis.streaming import StreamingReportBuilder
+
+    results: list[RunVerification] = []
+    header: dict[str, Any] | None = None
+    builder: StreamingReportBuilder | None = None
+
+    def _finish(hdr: dict[str, Any], b: StreamingReportBuilder) -> None:
+        try:
+            results.append(RunVerification(header=hdr, report=b.finish(), error=None))
+        except ScheduleError as err:
+            results.append(RunVerification(header=hdr, report=None, error=str(err)))
+
+    for event in _campaign_events(source):
+        if event.kind == "run_meta" and event.component == "campaign":
+            if header is not None and builder is not None:
+                _finish(header, builder)
+            header = dict(event.payload)
+            builder = StreamingReportBuilder(rel_tol=rel_tol)
+            continue
+        if builder is not None:
+            try:
+                builder.feed(event)
+            except ScheduleError as err:
+                if header is not None:
+                    results.append(
+                        RunVerification(header=header, report=None, error=str(err))
+                    )
+                header = None
+                builder = None
+    if header is not None and builder is not None:
+        _finish(header, builder)
+    return results
 
 
 def _campaign_plan(family: str, derived_seed: int, *, jobs: int, machines: int) -> FaultPlan:
@@ -500,6 +603,7 @@ def run_shard_campaign(
     shard_hold: float = 0.15,
     checkpoint_dir: str | Path | None = None,
     out: str | Path | None = None,
+    sink_spec: str = "plain",
 ) -> ShardCampaignReport:
     """Run ``n_runs`` shard-kill scenarios against the supervised pool.
 
@@ -512,7 +616,7 @@ def run_shard_campaign(
     :class:`ShardRunOutcome`.
     """
     outcomes: list[ShardRunOutcome] = []
-    sink = Path(out).open("w", encoding="utf-8") if out is not None else None
+    sink = make_sink(out, sink_spec) if out is not None else None
     try:
         for i in range(n_runs):
             derived = seed * 1_000_003 + i
@@ -530,11 +634,8 @@ def run_shard_campaign(
                     "plan": outcome.plan,
                     "status": outcome.status,
                 }
-                rec = MemoryRecorder()
-                rec.emit("run_meta", 0.0, "campaign", **header)
-                sink.write(rec.events[0].to_json() + "\n")
-                for event in events:
-                    sink.write(event.to_json() + "\n")
+                _write_run(sink, header, events)
+                sink.flush()
     finally:
         if sink is not None:
             sink.close()

@@ -14,12 +14,14 @@ import dataclasses
 import pytest
 
 from repro.cli import main
-from repro.core.tracing import read_jsonl
+from repro.core.tracing import read_jsonl, rotated_paths
 from repro.runtime.chaos import (
     CampaignReport,
     RunOutcome,
     format_campaign,
+    iter_campaign_runs,
     run_campaign,
+    verify_campaign_trace,
 )
 
 # One shared 50-run campaign: module-scoped because it is the expensive bit
@@ -119,6 +121,54 @@ class TestJsonlRoundTrip:
             assert header.payload["family"] == outcome.family
             assert header.payload["status"] == outcome.status
             assert header.payload["plan"] == outcome.plan
+
+
+class TestCampaignStreamVerification:
+    def test_iter_campaign_runs_partitions_by_header(self, campaign):
+        report, out = campaign
+        runs = list(iter_campaign_runs(out))
+        assert len(runs) == N_RUNS
+        assert [h["run_id"] for h, _ in runs] == [o.run_id for o in report.outcomes]
+        for header, events in runs:
+            assert "family" in header and "status" in header
+            # The header is consumed into the slot boundary, never the body.
+            assert not any(
+                e.kind == "run_meta" and e.component == "campaign" for e in events
+            )
+
+    def test_verify_campaign_trace_re_checks_every_run(self, campaign):
+        """The written campaign trace re-verifies offline, one bounded-memory
+        pass per run: every surviving pair run's Lemma 3/4 replay must pass
+        again from the file alone."""
+        report, out = campaign
+        verdicts = verify_campaign_trace(out)
+        assert len(verdicts) == N_RUNS
+        by_id = {v.header["run_id"]: v for v in verdicts}
+        for outcome in report.outcomes:
+            v = by_id[outcome.run_id]
+            if outcome.status == "failed":
+                continue  # aborted runs may leave partial kernel streams
+            assert v.ok, (outcome.run_id, v.error)
+            if outcome.lemmas_ok:
+                assert v.report is not None
+                assert all(c.holds for c in v.report.checks)
+
+    def test_campaign_rotate_sink_verifies_identically(self, tmp_path):
+        from repro.core.tracing import iter_trace
+
+        base = tmp_path / "c.jsonl"
+        plain = tmp_path / "plain.jsonl"
+        run_campaign(3, 4, out=base, sink_spec="rotate:200")
+        run_campaign(3, 4, out=plain)
+        segments = rotated_paths(base)
+        assert segments and not base.exists()
+        rotated = verify_campaign_trace(iter_trace(segments))
+        reference = verify_campaign_trace(plain)
+        assert len(rotated) == 4
+        assert [v.ok for v in rotated] == [v.ok for v in reference]
+        assert [v.header["run_id"] for v in rotated] == [
+            v.header["run_id"] for v in reference
+        ]
 
 
 class TestOutcomeModel:

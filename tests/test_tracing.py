@@ -19,6 +19,8 @@ from __future__ import annotations
 
 import json
 import pathlib
+import threading
+import time
 
 import pytest
 
@@ -38,13 +40,22 @@ from repro.core.shadow import ClairvoyantShadow, ShadowCounters, SimulationConte
 from repro.core.tracing import (
     EVENT_KINDS,
     NULL_RECORDER,
+    FileSink,
+    GzipSink,
     JsonlRecorder,
     MemoryRecorder,
     MetricsRegistry,
     NullRecorder,
+    RotatingSink,
     TraceEvent,
     TraceRecorder,
+    TraceSink,
+    follow_jsonl,
+    iter_jsonl,
+    iter_trace,
+    make_sink,
     read_jsonl,
+    rotated_paths,
 )
 from repro.parallel.nc_par import simulate_nc_par
 from repro.workloads import random_instance
@@ -117,6 +128,167 @@ class TestRecorders:
         with JsonlRecorder(tmp_path / "t.jsonl") as rec:
             with pytest.raises(ValueError, match="unknown trace event kind"):
                 rec.emit("bogus", 0.0, "C")
+
+    def test_memory_recorder_ring_buffer(self):
+        rec = MemoryRecorder(maxlen=3)
+        for k in range(5):
+            rec.emit("stall_guard_tick", float(k), "engine", stall=k)
+        assert len(rec) == 3
+        assert [e.sim_time for e in rec] == [2.0, 3.0, 4.0]
+        assert rec.dropped == 2
+        with pytest.raises(ValueError, match="maxlen"):
+            MemoryRecorder(maxlen=0)
+
+    def test_jsonl_closed_on_exception(self, tmp_path):
+        """The context manager flushes and closes even when the body raises,
+        so everything emitted before the crash is durable on disk."""
+        path = tmp_path / "t.jsonl"
+        with pytest.raises(RuntimeError, match="boom"):
+            with JsonlRecorder(path) as rec:
+                rec.emit("release", 0.0, "C", job=0)
+                raise RuntimeError("boom")
+        assert len(read_jsonl(path)) == 1
+
+    def test_torn_trailing_line_tolerated(self, tmp_path):
+        """A writer killed mid-line leaves a torn tail; readers keep every
+        complete event and stop cleanly at the tear."""
+        path = tmp_path / "t.jsonl"
+        with JsonlRecorder(path) as rec:
+            rec.emit("release", 0.0, "C", job=0)
+            rec.emit("completion", 1.0, "C", job=0)
+        full = path.read_bytes()
+        path.write_bytes(full[: len(full) - 20])  # tear the final line
+        events = read_jsonl(path)
+        assert [e.kind for e in events] == ["release"]
+
+    def test_corrupt_interior_line_rejected(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with JsonlRecorder(path) as rec:
+            rec.emit("release", 0.0, "C", job=0)
+            rec.emit("completion", 1.0, "C", job=0)
+        lines = path.read_text().splitlines()
+        path.write_text(lines[0][:-10] + "\n" + lines[1] + "\n")
+        with pytest.raises(ValueError, match="not a trailing tear"):
+            read_jsonl(path)
+
+
+class TestSinks:
+    def _emit_n(self, rec: JsonlRecorder, n: int) -> None:
+        for k in range(n):
+            rec.emit("stall_guard_tick", float(k), "engine", stall=k)
+
+    def test_sinks_satisfy_protocol(self, tmp_path):
+        assert isinstance(FileSink(tmp_path / "a.jsonl"), TraceSink)
+        assert isinstance(GzipSink(tmp_path / "b.jsonl.gz"), TraceSink)
+        assert isinstance(RotatingSink(tmp_path / "c.jsonl", 10), TraceSink)
+
+    def test_make_sink_specs(self, tmp_path):
+        assert isinstance(make_sink(tmp_path / "x", "plain"), FileSink)
+        assert isinstance(make_sink(tmp_path / "x", "gzip"), GzipSink)
+        rot = make_sink(tmp_path / "x.jsonl", "rotate:50")
+        assert isinstance(rot, RotatingSink) and rot.max_events == 50
+        with pytest.raises(ValueError, match="sink spec"):
+            make_sink(tmp_path / "x", "tape")
+        with pytest.raises(ValueError, match="max_events"):
+            make_sink(tmp_path / "x", "rotate:0")
+        with pytest.raises(ValueError, match="rotate"):
+            make_sink(tmp_path / "x", "rotate:many")
+
+    def test_gzip_sink_round_trip(self, tmp_path):
+        path = tmp_path / "t.jsonl.gz"
+        with JsonlRecorder(path, sink="gzip") as rec:
+            self._emit_n(rec, 25)
+        assert path.read_bytes()[:2] == b"\x1f\x8b"
+        events = read_jsonl(path)  # gzip autodetected by magic bytes
+        assert len(events) == 25
+
+    def test_rotating_sink_segments_self_contained(self, tmp_path):
+        """Each segment replays the run_meta header, so any single segment is
+        independently interpretable; iter_trace strips the replayed headers
+        and reconstructs exactly the original stream."""
+        path = tmp_path / "t.jsonl"
+        with JsonlRecorder(path, sink="rotate:10") as rec:
+            rec.emit("run_meta", 0.0, "harness", alpha=3.0)
+            self._emit_n(rec, 25)
+        segments = rotated_paths(path)
+        assert len(segments) == 3
+        assert [p.name for p in segments] == [
+            "t.00000.jsonl", "t.00001.jsonl", "t.00002.jsonl"
+        ]
+        assert rec.paths == tuple(segments)
+        # Later segments open with a header copy flagged segment_header.
+        seg1 = read_jsonl(segments[1])
+        assert seg1[0].kind == "run_meta"
+        assert seg1[0].payload.get("segment_header") is True
+        merged = list(iter_trace(segments))
+        assert len(merged) == 26
+        assert sum(1 for e in merged if e.kind == "run_meta") == 1
+
+    def test_rotating_sink_without_header(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with JsonlRecorder(path, sink="rotate:4") as rec:
+            self._emit_n(rec, 9)
+        merged = list(iter_trace(rotated_paths(path)))
+        assert [e.payload["stall"] for e in merged] == list(range(9))
+
+    def test_truncated_gzip_stops_cleanly(self, tmp_path):
+        path = tmp_path / "t.jsonl.gz"
+        with JsonlRecorder(path, sink="gzip") as rec:
+            self._emit_n(rec, 200)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) - 8])  # chop the gzip trailer
+        events = read_jsonl(path)  # no exception; prefix recovered
+        assert all(e.kind == "stall_guard_tick" for e in events)
+
+    def test_flush_makes_events_visible_midstream(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        rec = JsonlRecorder(path)
+        try:
+            self._emit_n(rec, 3)
+            rec.flush()
+            assert len(read_jsonl(path)) == 3
+        finally:
+            rec.close()
+
+    def test_follow_jsonl_tails_a_finished_file(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with JsonlRecorder(path) as rec:
+            self._emit_n(rec, 12)
+        events = list(follow_jsonl(path, poll_interval=0.01, idle_timeout=0.05))
+        assert len(events) == 12
+
+    def test_follow_jsonl_waits_for_file_to_appear(self, tmp_path):
+        path = tmp_path / "late.jsonl"
+
+        def write_late():
+            time.sleep(0.05)
+            with JsonlRecorder(path) as rec:
+                self._emit_n(rec, 7)
+
+        writer = threading.Thread(target=write_late)
+        writer.start()
+        try:
+            events = list(follow_jsonl(path, poll_interval=0.01, idle_timeout=1.0))
+        finally:
+            writer.join()
+        assert len(events) == 7
+
+    def test_follow_jsonl_missing_file_times_out_empty(self, tmp_path):
+        events = list(
+            follow_jsonl(tmp_path / "never.jsonl", poll_interval=0.01, idle_timeout=0.05)
+        )
+        assert events == []
+
+    def test_follow_jsonl_stop_callback(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with JsonlRecorder(path) as rec:
+            self._emit_n(rec, 5)
+        seen: list[TraceEvent] = []
+        for e in follow_jsonl(
+            path, poll_interval=0.01, idle_timeout=5.0, stop=lambda: len(seen) >= 5
+        ):
+            seen.append(e)
+        assert len(seen) == 5
 
 
 class TestMetricsRegistry:
