@@ -7,10 +7,17 @@
 PYTEST := PYTHONPATH=src python -m pytest
 PY := PYTHONPATH=src python
 
-.PHONY: install test bench bench-smoke bench-scale bench-trace-scale bench-check lint typecheck check ci examples reproduce trace chaos clean
+.PHONY: install install-dev install-service test bench bench-smoke bench-scale bench-trace-scale bench-service bench-check lint typecheck coverage serve check ci examples reproduce trace chaos clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
+
+# The same pinned lists CI installs from (see requirements/README.md).
+install-dev:
+	pip install -r requirements/base.txt -r requirements/dev.txt
+
+install-service:
+	pip install -r requirements/service.txt
 
 test:
 	$(PYTEST) -x -q tests/
@@ -35,6 +42,12 @@ bench-scale:
 bench-trace-scale:
 	$(PYTEST) benchmarks/bench_trace_scale.py --benchmark-only
 
+# In-process load test of the scheduling service (writes
+# benchmarks/out/BENCH_service_load.json); the p99 request-latency ceiling
+# is gated by check_bench_regression.py --max-service-p99-ms.
+bench-service:
+	$(PYTEST) benchmarks/bench_service_load.py --benchmark-only
+
 # Diff the freshly written BENCH_*.json against the committed baselines
 # (deterministic quantities must match; speedups must stay >= 5x).
 bench-check:
@@ -44,13 +57,21 @@ bench-check:
 # the || branch makes `make ci` usable on machines without them.
 lint:
 	@if command -v ruff >/dev/null 2>&1; then \
-		ruff check src/ tests/ benchmarks/ scripts/ && ruff format --check src/repro/core/; \
+		ruff check src/ tests/ benchmarks/ scripts/ && ruff format --check .; \
 	else echo "ruff not installed; skipping (CI runs it)"; fi
 
 typecheck:
 	@if command -v mypy >/dev/null 2>&1; then \
 		MYPYPATH=src mypy --strict -p repro.core -p repro.faults -p repro.runtime -p repro.parallel -m repro.analysis.streaming; \
 	else echo "mypy not installed; skipping (CI runs it)"; fi
+
+# Branch coverage over src/repro with the CI floor (requires pytest-cov).
+coverage:
+	$(PYTEST) -q tests/ --cov=src/repro --cov-branch --cov-report=term-missing --cov-fail-under=85
+
+# Serve the scheduling API locally (requires the service extra: pydantic).
+serve:
+	$(PY) -m repro serve
 
 # The one-stop entrypoint: tier-1 tests, then the benchmark smoke gate.
 check: test bench-smoke

@@ -22,7 +22,10 @@ This script compares the two:
   the streaming trace verifier's ``trace_peak_mb`` must stay at or below
   ``--max-trace-peak-mb`` and its ``trace_peak_ratio`` (peak at 10^6 vs
   10^4 events) at or below ``--max-trace-peak-ratio`` — bounded-memory
-  verification of million-event traces;
+  verification of million-event traces; the service's mixed-load
+  ``service_p99_ms`` must stay at or below ``--max-service-p99-ms``
+  (99th-percentile request latency through the in-process ASGI stack,
+  bench_service_load);
 * quantities present on only one side are reported (new benchmarks are fine;
   silently vanished ones are not).
 
@@ -64,6 +67,12 @@ TIMING_KEYS = frozenset(
         "in_memory_peak_mb",
         "trace_peak_ratio",
         "ru_maxrss_mb",
+        "requests_per_s",
+        "service_p50_ms",
+        "service_p99_ms",
+        "p50_ms",
+        "p99_ms",
+        "mean_ms",
     }
 )
 #: The one timing-derived key that still carries an acceptance floor.
@@ -85,6 +94,10 @@ SCALE_SPEEDUP_KEY = "scale_speedup"
 #: may not grow with the event count (10^6 vs 10^4 events ratio).
 TRACE_PEAK_KEY = "trace_peak_mb"
 TRACE_PEAK_RATIO_KEY = "trace_peak_ratio"
+#: Service load gate (bench_service_load): the mixed-load 99th-percentile
+#: request latency through the in-process ASGI stack must stay under a
+#: committed ceiling.
+SERVICE_P99_KEY = "service_p99_ms"
 DEFAULT_MIN_SPEEDUP = 5.0
 DEFAULT_MAX_OVERHEAD = 1.05
 DEFAULT_MIN_SHARD_SPEEDUP = 1.0
@@ -92,6 +105,7 @@ DEFAULT_MAX_RECOVERY_OVERHEAD = 4.0
 DEFAULT_MIN_SCALE_SPEEDUP = 20.0
 DEFAULT_MAX_TRACE_PEAK_MB = 8.0
 DEFAULT_MAX_TRACE_PEAK_RATIO = 2.0
+DEFAULT_MAX_SERVICE_P99_MS = 25.0
 DEFAULT_TOLERANCE = 1e-6
 
 
@@ -238,6 +252,13 @@ def main(argv: list[str] | None = None) -> int:
         help="acceptance ceiling for 'trace_peak_ratio' (streaming peak at "
         "10^6 events over 10^4 events — must stay ~flat)",
     )
+    parser.add_argument(
+        "--max-service-p99-ms",
+        type=float,
+        default=DEFAULT_MAX_SERVICE_P99_MS,
+        help="acceptance ceiling for 'service_p99_ms' (99th-percentile "
+        "request latency of the in-process service load, bench_service_load)",
+    )
     args = parser.parse_args(argv)
 
     fresh_files = sorted(args.fresh_dir.glob("BENCH_*.json"))
@@ -292,6 +313,12 @@ def main(argv: list[str] | None = None) -> int:
                     f"{path.name}: {spath} = {value:.2f} above the "
                     f"{args.max_trace_peak_ratio:g}x peak-growth ceiling "
                     f"(streaming memory is growing with the event count)"
+                )
+        for spath, value in collect_key(fresh, SERVICE_P99_KEY):
+            if value > args.max_service_p99_ms:
+                problems.append(
+                    f"{path.name}: {spath} = {value:.2f} ms above the "
+                    f"{args.max_service_p99_ms:g} ms service-latency ceiling"
                 )
         baseline = load_baseline(path.name, args.baseline_dir, args.baseline_ref)
         if baseline is None:

@@ -17,6 +17,9 @@ Commands:
   ``--timeout`` bounds each run's wall clock.
 * ``shard``        — run NC-PAR/C-PAR sharded on the supervised worker
   pool and verify the merged report is bit-identical to the serial path.
+* ``serve``        — serve the scheduling API (:mod:`repro.service`) over
+  HTTP: multi-tenant sessions, online arrivals, speed/schedule/metrics/
+  Gantt queries, verified reports, sharded campaigns.
 
 Every command accepts ``--seed`` and ``--alpha`` so results are exactly
 reproducible.  The CLI builds only on the public API — it doubles as an
@@ -199,6 +202,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="durable shard checkpoint directory (--shards); enables the "
         "checkpoint_corruption rotation",
     )
+
+    p_srv = sub.add_parser(
+        "serve",
+        help="serve the scheduling API over HTTP (requires the service extra: pydantic)",
+    )
+    p_srv.add_argument("--host", default="127.0.0.1", help="bind address")
+    p_srv.add_argument("--port", type=int, default=8176, help="bind port")
 
     p_sh = sub.add_parser(
         "shard",
@@ -392,6 +402,29 @@ def _cmd_chaos(args: argparse.Namespace) -> tuple[str, int]:
     if args.out:
         text += f"\n\ntraces written to {args.out}"
     return text, 0 if report.ok else 1
+
+
+def _cmd_serve(args: argparse.Namespace) -> str:
+    import asyncio
+
+    try:
+        from .service import create_app, serve
+    except ImportError as exc:  # pydantic is the service extra
+        raise SystemExit(
+            f"repro serve needs the service extra (pip install 'repro[service]'): {exc}"
+        ) from exc
+
+    app = create_app()
+    print(
+        f"serving scheduling API on http://{args.host}:{args.port} "
+        "(POST /sessions, GET /health; Ctrl-C to stop)",
+        flush=True,
+    )
+    try:
+        asyncio.run(serve(app, args.host, args.port))
+    except KeyboardInterrupt:
+        pass
+    return "server stopped; session trace sinks flushed"
 
 
 def _cmd_shard(args: argparse.Namespace) -> tuple[str, int]:
@@ -652,6 +685,7 @@ _DISPATCH = {
     "cluster": _cmd_cluster,
     "chaos": _cmd_chaos,
     "shard": _cmd_shard,
+    "serve": _cmd_serve,
 }
 
 

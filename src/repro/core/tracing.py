@@ -128,6 +128,10 @@ __all__ = [
 #: ``shard_checkpoint`` for durable per-shard snapshot saves/loads.
 #: ``run_timeout`` marks a chaos-campaign run cut off by its wall-clock
 #: budget (:mod:`repro.runtime.chaos`).
+#:
+#: The service kinds narrate :mod:`repro.service` sessions: one ``arrival``
+#: per job streamed into a live session and a final ``session_close`` when
+#: the session's trace sink is flushed (DELETE or service shutdown).
 EVENT_KINDS = frozenset(
     {
         "run_meta",
@@ -153,6 +157,8 @@ EVENT_KINDS = frozenset(
         "pool_degraded",
         "shard_checkpoint",
         "run_timeout",
+        "arrival",
+        "session_close",
     }
 )
 

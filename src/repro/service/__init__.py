@@ -1,0 +1,33 @@
+"""Scheduling-as-a-service: the paper's algorithms behind an async API.
+
+The non-clairvoyant model made operational — multi-tenant sessions accept
+jobs as online arrivals through a bounded (backpressured) queue and answer
+live speed/schedule/metrics/Gantt queries, verified Lemma 3/4 reports, and
+sharded parallel-machine campaigns.  See ``docs/service.md``.
+
+Requires the ``service`` extra (pydantic); the HTTP layer itself is
+dependency-free ASGI (:mod:`repro.service.asgi`), so uvicorn/FastAPI remain
+strictly optional.
+"""
+
+from __future__ import annotations
+
+from .app import create_app
+from .asgi import App, ClientResponse, HTTPError, Request, Response, TestClient, serve
+from .sessions import Backpressure, Campaign, Session, SessionClosed, SessionManager
+
+__all__ = [
+    "create_app",
+    "App",
+    "ClientResponse",
+    "HTTPError",
+    "Request",
+    "Response",
+    "TestClient",
+    "serve",
+    "Backpressure",
+    "Campaign",
+    "Session",
+    "SessionClosed",
+    "SessionManager",
+]

@@ -1,0 +1,34 @@
+"""Application factory of the scheduling service.
+
+``create_app()`` wires a fresh :class:`~repro.service.sessions.SessionManager`
+into the route table and registers graceful shutdown: when the ASGI lifespan
+(or the built-in server, or a :class:`~repro.service.asgi.TestClient` exit)
+signals shutdown, every open session is closed and its trace sink flushed,
+and in-flight campaigns are allowed to settle.
+"""
+
+from __future__ import annotations
+
+from .asgi import App
+from .routes import register_routes
+from .sessions import SessionManager
+
+__all__ = ["create_app"]
+
+
+def create_app(manager: SessionManager | None = None) -> App:
+    """Build the service's ASGI application.
+
+    Pass an explicit ``manager`` to share sessions across apps (tests); by
+    default each app owns a fresh one.
+    """
+    app = App()
+    mgr = manager if manager is not None else SessionManager()
+    app.state["manager"] = mgr
+    register_routes(app, mgr)
+
+    async def _shutdown() -> None:
+        await mgr.shutdown()
+
+    app.on_shutdown.append(_shutdown)
+    return app

@@ -1,0 +1,466 @@
+"""A dependency-free ASGI micro-framework for :mod:`repro.service`.
+
+The service layer is written FastAPI-style — typed pydantic request/response
+models, path-templated routes, JSON errors — but the HTTP plumbing underneath
+is this module, not FastAPI: ~200 lines of standard-library ASGI so the
+service runs anywhere the core package runs.  The app object produced by
+:func:`repro.service.app.create_app` is a *real* ASGI application: point
+uvicorn (or any ASGI server, both optional extras) at it for production
+serving, use the built-in :func:`serve` asyncio HTTP/1.1 server for
+dependency-free deployments and smoke tests, and drive it in-process with
+:class:`TestClient` / :func:`asgi_call` for tests and the load benchmark.
+
+Pieces:
+
+* :class:`Request` / :class:`Response` — thin typed wrappers over the ASGI
+  ``http`` scope and response messages.
+* :class:`HTTPError` — raise anywhere in a handler to produce a JSON error
+  body with that status.
+* :class:`App` — method + path-template router (``/sessions/{session_id}``)
+  with startup/shutdown hooks wired to the ASGI ``lifespan`` protocol.
+* :func:`asgi_call` — one in-process request against any ASGI app; the
+  substrate of :class:`TestClient` and of ``benchmarks/bench_service_load``.
+* :func:`serve` — a minimal asyncio HTTP/1.1 server bridging sockets to the
+  ASGI interface (one request per connection, ``Connection: close``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Any, Awaitable, Callable
+from urllib.parse import parse_qsl, unquote
+
+__all__ = [
+    "HTTPError",
+    "Request",
+    "Response",
+    "App",
+    "asgi_call",
+    "ClientResponse",
+    "TestClient",
+    "serve",
+]
+
+_STATUS_PHRASES = {
+    200: "OK",
+    201: "Created",
+    202: "Accepted",
+    204: "No Content",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    422: "Unprocessable Entity",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class HTTPError(Exception):
+    """Abort the current handler with an HTTP status and a JSON detail."""
+
+    def __init__(self, status: int, detail: str) -> None:
+        super().__init__(detail)
+        self.status = status
+        self.detail = detail
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request, path parameters already bound."""
+
+    method: str
+    path: str
+    query: dict[str, str]
+    headers: dict[str, str]
+    body: bytes
+    path_params: dict[str, str] = field(default_factory=dict)
+
+    def json(self) -> Any:
+        """The request body as JSON (``{}`` when empty)."""
+        if not self.body:
+            return {}
+        try:
+            return json.loads(self.body)
+        except json.JSONDecodeError as exc:
+            raise HTTPError(400, f"invalid JSON body: {exc}") from exc
+
+    def query_float(self, name: str, default: float | None = None) -> float | None:
+        raw = self.query.get(name)
+        if raw is None:
+            return default
+        try:
+            return float(raw)
+        except ValueError as exc:
+            raise HTTPError(400, f"query parameter {name!r} must be a number, got {raw!r}") from exc
+
+    def query_int(self, name: str, default: int | None = None) -> int | None:
+        raw = self.query.get(name)
+        if raw is None:
+            return default
+        try:
+            return int(raw)
+        except ValueError as exc:
+            raise HTTPError(400, f"query parameter {name!r} must be an integer, got {raw!r}") from exc
+
+
+class Response:
+    """A JSON response.  ``payload`` may be a pydantic model, a dict/list, or
+    ``None`` (empty body); models are serialized with ``model_dump_json`` so
+    floats keep their shortest-repr exact round-trip."""
+
+    def __init__(self, payload: Any = None, status: int = 200) -> None:
+        self.status = status
+        if payload is None:
+            self.body = b""
+        elif hasattr(payload, "model_dump_json"):
+            self.body = payload.model_dump_json().encode("utf-8")
+        else:
+            self.body = json.dumps(payload).encode("utf-8")
+        self.content_type = "application/json"
+
+
+Handler = Callable[[Request], Awaitable[Response]]
+
+
+def _split(path: str) -> tuple[str, ...]:
+    return tuple(p for p in path.split("/") if p)
+
+
+class App:
+    """Method + path-template router speaking ASGI ``http`` and ``lifespan``.
+
+    Routes are registered with ``@app.route("GET", "/sessions/{session_id}")``;
+    ``{name}`` segments bind into ``request.path_params``.  Handler errors map
+    to JSON bodies: :class:`HTTPError` keeps its status, pydantic validation
+    errors become 422, anything else a 500 with the exception text.
+    """
+
+    def __init__(self) -> None:
+        self._routes: list[tuple[str, tuple[str, ...], Handler]] = []
+        self.on_startup: list[Callable[[], Awaitable[None]]] = []
+        self.on_shutdown: list[Callable[[], Awaitable[None]]] = []
+        self.state: dict[str, Any] = {}
+
+    def route(self, method: str, path: str) -> Callable[[Handler], Handler]:
+        def register(handler: Handler) -> Handler:
+            self._routes.append((method.upper(), _split(path), handler))
+            return handler
+
+        return register
+
+    async def startup(self) -> None:
+        for hook in self.on_startup:
+            await hook()
+
+    async def shutdown(self) -> None:
+        for hook in self.on_shutdown:
+            await hook()
+
+    # -- routing --------------------------------------------------------------
+
+    def _match(self, method: str, path: str) -> tuple[Handler, dict[str, str]]:
+        parts = _split(path)
+        path_found = False
+        for route_method, pattern, handler in self._routes:
+            if len(pattern) != len(parts):
+                continue
+            params: dict[str, str] = {}
+            for pat, got in zip(pattern, parts):
+                if pat.startswith("{") and pat.endswith("}"):
+                    params[pat[1:-1]] = unquote(got)
+                elif pat != got:
+                    break
+            else:
+                path_found = True
+                if route_method == method:
+                    return handler, params
+        if path_found:
+            raise HTTPError(405, f"method {method} not allowed on {path}")
+        raise HTTPError(404, f"no route for {method} {path}")
+
+    async def handle(self, request: Request) -> Response:
+        """Dispatch one request to its handler, mapping errors to JSON."""
+        try:
+            handler, params = self._match(request.method, request.path)
+            request.path_params = params
+            return await handler(request)
+        except HTTPError as exc:
+            return Response({"detail": exc.detail}, status=exc.status)
+        except Exception as exc:  # noqa: BLE001 — the service must not crash
+            if type(exc).__name__ == "ValidationError" and hasattr(exc, "errors"):
+                detail = "; ".join(
+                    f"{'.'.join(str(p) for p in e.get('loc', ()))}: {e.get('msg', '?')}"
+                    for e in exc.errors()
+                )
+                return Response({"detail": f"validation failed: {detail}"}, status=422)
+            return Response(
+                {"detail": f"{type(exc).__name__}: {exc}"}, status=500
+            )
+
+    # -- ASGI interface -------------------------------------------------------
+
+    async def __call__(self, scope: dict, receive: Callable, send: Callable) -> None:
+        if scope["type"] == "lifespan":
+            while True:
+                message = await receive()
+                if message["type"] == "lifespan.startup":
+                    await self.startup()
+                    await send({"type": "lifespan.startup.complete"})
+                elif message["type"] == "lifespan.shutdown":
+                    await self.shutdown()
+                    await send({"type": "lifespan.shutdown.complete"})
+                    return
+        elif scope["type"] == "http":
+            body = b""
+            while True:
+                message = await receive()
+                body += message.get("body", b"")
+                if not message.get("more_body", False):
+                    break
+            request = Request(
+                method=scope["method"].upper(),
+                path=scope["path"],
+                query=dict(parse_qsl(scope.get("query_string", b"").decode("latin-1"))),
+                headers={
+                    k.decode("latin-1").lower(): v.decode("latin-1")
+                    for k, v in scope.get("headers", [])
+                },
+                body=body,
+            )
+            response = await self.handle(request)
+            await send(
+                {
+                    "type": "http.response.start",
+                    "status": response.status,
+                    "headers": [
+                        (b"content-type", response.content_type.encode("latin-1")),
+                        (b"content-length", str(len(response.body)).encode("latin-1")),
+                    ],
+                }
+            )
+            await send({"type": "http.response.body", "body": response.body})
+        else:  # pragma: no cover — websockets etc. are out of scope
+            raise RuntimeError(f"unsupported ASGI scope type {scope['type']!r}")
+
+
+# -- in-process client --------------------------------------------------------
+
+
+@dataclass
+class ClientResponse:
+    """What :func:`asgi_call` hands back for one request."""
+
+    status_code: int
+    headers: dict[str, str]
+    body: bytes
+
+    def json(self) -> Any:
+        return json.loads(self.body) if self.body else None
+
+
+async def asgi_call(
+    app: Callable,
+    method: str,
+    path: str,
+    *,
+    json_body: Any = None,
+    query: str = "",
+) -> ClientResponse:
+    """Run one request through ``app`` without sockets (the ASGI messages are
+    exchanged in-process).  This is the hot path of the load benchmark, so it
+    allocates as little as the protocol allows."""
+    body = b"" if json_body is None else json.dumps(json_body).encode("utf-8")
+    scope = {
+        "type": "http",
+        "asgi": {"version": "3.0"},
+        "http_version": "1.1",
+        "method": method.upper(),
+        "path": path,
+        "raw_path": path.encode("latin-1"),
+        "query_string": query.encode("latin-1"),
+        "headers": [(b"content-type", b"application/json")],
+    }
+    received = False
+
+    async def receive() -> dict:
+        nonlocal received
+        if received:
+            return {"type": "http.disconnect"}
+        received = True
+        return {"type": "http.request", "body": body, "more_body": False}
+
+    status = 500
+    headers: dict[str, str] = {}
+    chunks: list[bytes] = []
+
+    async def send(message: dict) -> None:
+        nonlocal status
+        if message["type"] == "http.response.start":
+            status = message["status"]
+            headers.update(
+                {
+                    k.decode("latin-1"): v.decode("latin-1")
+                    for k, v in message.get("headers", [])
+                }
+            )
+        elif message["type"] == "http.response.body":
+            chunks.append(message.get("body", b""))
+
+    await app(scope, receive, send)
+    return ClientResponse(status_code=status, headers=headers, body=b"".join(chunks))
+
+
+class TestClient:
+    """Synchronous in-process client over one private event loop.
+
+    One loop for the client's whole lifetime, so the app's asyncio state
+    (locks, queues, background campaign tasks) stays on a single loop across
+    requests — the same invariant a real server provides.  Use as a context
+    manager to get lifespan startup/shutdown.
+    """
+
+    __test__ = False  # not a pytest test class despite the name
+
+    def __init__(self, app: App) -> None:
+        self.app = app
+        self._loop = asyncio.new_event_loop()
+
+    def __enter__(self) -> "TestClient":
+        self._loop.run_until_complete(self.app.startup())
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def close(self) -> None:
+        if self._loop.is_closed():
+            return
+        self._loop.run_until_complete(self.app.shutdown())
+        self._loop.run_until_complete(self._loop.shutdown_asyncgens())
+        self._loop.close()
+
+    def request(
+        self, method: str, path: str, *, json_body: Any = None, query: str = ""
+    ) -> ClientResponse:
+        return self._loop.run_until_complete(
+            asgi_call(self.app, method, path, json_body=json_body, query=query)
+        )
+
+    def get(self, path: str, *, query: str = "") -> ClientResponse:
+        return self.request("GET", path, query=query)
+
+    def post(self, path: str, *, json_body: Any = None, query: str = "") -> ClientResponse:
+        return self.request("POST", path, json_body=json_body, query=query)
+
+    def delete(self, path: str) -> ClientResponse:
+        return self.request("DELETE", path)
+
+
+# -- minimal asyncio HTTP/1.1 server ------------------------------------------
+
+
+async def _handle_connection(
+    app: Callable, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+) -> None:
+    try:
+        request_line = await reader.readline()
+        if not request_line:
+            return
+        try:
+            method, target, _version = request_line.decode("latin-1").split(None, 2)
+        except ValueError:
+            writer.write(b"HTTP/1.1 400 Bad Request\r\ncontent-length: 0\r\n\r\n")
+            await writer.drain()
+            return
+        headers: list[tuple[bytes, bytes]] = []
+        content_length = 0
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.partition(b":")
+            name = name.strip().lower()
+            value = value.strip()
+            headers.append((name, value))
+            if name == b"content-length":
+                content_length = int(value)
+        body = await reader.readexactly(content_length) if content_length else b""
+        path, _, query = target.partition("?")
+        scope = {
+            "type": "http",
+            "asgi": {"version": "3.0"},
+            "http_version": "1.1",
+            "method": method.upper(),
+            "path": unquote(path),
+            "raw_path": path.encode("latin-1"),
+            "query_string": query.encode("latin-1"),
+            "headers": headers,
+        }
+        received = False
+
+        async def receive() -> dict:
+            nonlocal received
+            if received:
+                return {"type": "http.disconnect"}
+            received = True
+            return {"type": "http.request", "body": body, "more_body": False}
+
+        async def send(message: dict) -> None:
+            if message["type"] == "http.response.start":
+                status = message["status"]
+                phrase = _STATUS_PHRASES.get(status, "Unknown")
+                head = [f"HTTP/1.1 {status} {phrase}".encode("latin-1")]
+                for k, v in message.get("headers", []):
+                    head.append(k + b": " + v)
+                head.append(b"connection: close")
+                writer.write(b"\r\n".join(head) + b"\r\n\r\n")
+            elif message["type"] == "http.response.body":
+                writer.write(message.get("body", b""))
+                if not message.get("more_body", False):
+                    await writer.drain()
+
+        await app(scope, receive, send)
+    except (asyncio.IncompleteReadError, ConnectionResetError):  # pragma: no cover
+        pass
+    finally:
+        try:
+            writer.close()
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+            pass
+
+
+async def serve(
+    app: App,
+    host: str = "127.0.0.1",
+    port: int = 8176,
+    *,
+    ready: asyncio.Event | None = None,
+    shutdown_trigger: asyncio.Event | None = None,
+) -> None:
+    """Serve ``app`` over a plain asyncio socket server until cancelled.
+
+    Runs the app's startup hooks first and its shutdown hooks on the way out
+    (including cancellation), so per-session trace sinks are flushed whenever
+    the server stops.  ``ready`` is set once the socket is listening;
+    ``shutdown_trigger`` — when given — stops the server cleanly when set
+    (tests use it instead of task cancellation).
+    """
+    await app.startup()
+    server = await asyncio.start_server(
+        lambda r, w: _handle_connection(app, r, w), host, port
+    )
+    try:
+        if ready is not None:
+            ready.set()
+        async with server:
+            if shutdown_trigger is None:
+                await server.serve_forever()
+            else:
+                await shutdown_trigger.wait()
+    finally:
+        await app.shutdown()

@@ -1,0 +1,421 @@
+"""Multi-tenant scheduling sessions and sharded campaigns.
+
+A :class:`Session` is the non-clairvoyant model made operational: jobs
+arrive over time with unknown-to-the-algorithm sizes, streamed in through a
+*bounded* queue (the backpressure boundary), and the session answers live
+queries — current speeds from an incrementally-advanced
+:class:`~repro.core.shadow.ClairvoyantShadow`, full schedules/metrics/Gantt
+data by running the session's algorithm over the arrivals received so far,
+and verified reports that replay a traced (C, NC) pair through the
+streaming Lemma 3/4 verifier.
+
+Concurrency model: every session owns one ``asyncio.Lock``; all state
+mutation (queue drain into the shadow, schedule computation) happens under
+it, so interleaved requests against different sessions never share mutable
+state and interleaved requests against one session serialize.  Determinism
+is the contract the differential tests pin: a session fed jobs through the
+API yields schedules **bit-identical** to driving the same instance through
+:class:`~repro.core.shadow.SimulationContext` directly.
+
+Tracing: a session created with ``trace_path`` routes every shadow/algorithm
+event through a per-session :class:`~repro.core.tracing.JsonlRecorder`
+(any ``plain | gzip | rotate:N`` sink).  :meth:`Session.close` — reached by
+``DELETE``, manager shutdown, or server stop — flushes and closes the sink,
+so traces survive any graceful exit path.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from typing import Any
+
+from ..algorithms import simulate_clairvoyant, simulate_nc_general, simulate_nc_uniform
+from ..analysis.trace_report import TraceReport, build_report
+from ..core.errors import InvalidInstanceError
+from ..core.job import Instance, Job
+from ..core.metrics import CostReport, evaluate
+from ..core.power import PowerLaw
+from ..core.schedule import Schedule
+from ..core.shadow import SimulationContext
+from ..core.tracing import NULL_RECORDER, JsonlRecorder, MemoryRecorder, TraceRecorder
+from .models import CampaignRequest, SessionCreateRequest
+
+__all__ = [
+    "Backpressure",
+    "SessionClosed",
+    "Session",
+    "Campaign",
+    "SessionManager",
+    "simulate_session_algorithm",
+]
+
+
+class Backpressure(Exception):
+    """The arrival batch would overflow the session's bounded queue."""
+
+    def __init__(self, depth: int, limit: int, batch: int) -> None:
+        super().__init__(
+            f"queue at depth {depth}/{limit} cannot absorb a batch of {batch}; "
+            "retry after the backlog drains"
+        )
+        self.depth = depth
+        self.limit = limit
+        self.batch = batch
+
+
+class SessionClosed(Exception):
+    """The session was closed; no further arrivals or queries."""
+
+
+def simulate_session_algorithm(
+    name: str,
+    instance: Instance,
+    power: PowerLaw,
+    *,
+    context: SimulationContext | None = None,
+    max_step: float = 2e-2,
+) -> Schedule:
+    """Run a session-servable algorithm, threading the trace context through.
+
+    This is the exact call the differential test mirrors: driving the same
+    instance through a fresh :class:`SimulationContext` directly must yield a
+    bit-identical schedule.
+    """
+    if name == "C":
+        return simulate_clairvoyant(instance, power, context=context).schedule
+    if name == "NC":
+        return simulate_nc_uniform(instance, power, context=context).schedule
+    if name == "NC_GENERAL":
+        return simulate_nc_general(
+            instance, power, context=context, max_step=max_step
+        ).schedule
+    raise InvalidInstanceError(f"unknown session algorithm {name!r}")
+
+
+class Session:
+    """One live scheduling session (see module docstring).
+
+    All public coroutines acquire :attr:`lock`; synchronous helpers prefixed
+    ``_`` assume it is held.
+    """
+
+    def __init__(self, session_id: str, request: SessionCreateRequest) -> None:
+        self.session_id = session_id
+        self.algorithm = request.algorithm
+        self.power = PowerLaw(request.alpha)
+        self.max_step = request.max_step
+        self.queue_limit = request.queue_limit
+        self.recorder: TraceRecorder = (
+            JsonlRecorder(request.trace_path, sink=request.sink)
+            if request.trace_path
+            else NULL_RECORDER
+        )
+        self.context = SimulationContext(
+            self.power, recorder=self.recorder, backend=request.backend
+        )
+        self.context.emit(
+            "run_meta",
+            0.0,
+            "service",
+            alpha=request.alpha,
+            session=session_id,
+            algorithms=[request.algorithm],
+        )
+        #: Algorithm C's live state over the arrivals so far — the substrate
+        #: of the speeds endpoint.  Advanced monotonically to each arrival's
+        #: release, never rolled back.
+        self.shadow = self.context.shadow(component="service.shadow")
+        self.lock = asyncio.Lock()
+        self.queue: asyncio.Queue[Job] = asyncio.Queue(maxsize=request.queue_limit)
+        self.jobs: list[Job] = []
+        self.jobs_accepted = 0
+        self.closed = False
+
+    # -- lifecycle ------------------------------------------------------------
+
+    @property
+    def clock(self) -> float:
+        return self.shadow.clock
+
+    @property
+    def trace_paths(self) -> list[str]:
+        rec = self.recorder
+        return [str(p) for p in rec.paths] if isinstance(rec, JsonlRecorder) else []
+
+    def _check_open(self) -> None:
+        if self.closed:
+            raise SessionClosed(f"session {self.session_id!r} is closed")
+
+    async def close(self) -> None:
+        """Flush and close the session's trace sink; idempotent."""
+        async with self.lock:
+            if self.closed:
+                return
+            self._drain()
+            self.closed = True
+            self.context.emit(
+                "session_close",
+                self.clock,
+                "service",
+                session=self.session_id,
+                jobs=self.jobs_accepted,
+            )
+            if isinstance(self.recorder, JsonlRecorder):
+                self.recorder.close()
+
+    # -- arrivals -------------------------------------------------------------
+
+    async def submit(self, jobs: list[Job]) -> int:
+        """Stream a batch of arrivals in; returns the number accepted.
+
+        Batches are all-or-nothing: if the bounded queue cannot absorb the
+        whole batch the request fails with :class:`Backpressure` and nothing
+        is enqueued (a partial batch would silently reorder arrivals relative
+        to the client's retry).
+        """
+        self._check_open()
+        depth = self.queue.qsize()
+        if depth + len(jobs) > self.queue_limit:
+            raise Backpressure(depth, self.queue_limit, len(jobs))
+        for job in jobs:
+            self.queue.put_nowait(job)
+        async with self.lock:
+            self._drain()
+        return len(jobs)
+
+    def _drain(self) -> None:
+        """Move queued arrivals into the live shadow (lock held).
+
+        Each arrival is revealed to Algorithm C's shadow and the session
+        clock advances to its release — exactly the online order a fresh
+        clairvoyant run would see, so session state stays bit-identical to a
+        from-scratch simulation over the same prefix.
+        """
+        while True:
+            try:
+                job = self.queue.get_nowait()
+            except asyncio.QueueEmpty:
+                return
+            self.shadow.insert_job(job.job_id, job.release, job.density, job.volume)
+            self.shadow.advance(job.release)
+            self.jobs.append(job)
+            self.jobs_accepted += 1
+            self.context.emit(
+                "arrival",
+                job.release,
+                "service",
+                session=self.session_id,
+                job=job.job_id,
+                volume=job.volume,
+                density=job.density,
+            )
+
+    # -- queries --------------------------------------------------------------
+
+    def _instance(self) -> Instance:
+        if not self.jobs:
+            raise InvalidInstanceError(
+                f"session {self.session_id!r} has no jobs yet; stream arrivals first"
+            )
+        return Instance(self.jobs)
+
+    async def speeds(self, t: float | None = None) -> dict[str, Any]:
+        """Live speed view at ``t`` (default: the session clock)."""
+        self._check_open()
+        async with self.lock:
+            self._drain()
+            at = self.clock if t is None else t
+            if at < self.clock:
+                raise InvalidInstanceError(
+                    f"t={at} is before the session clock {self.clock}; "
+                    "the live shadow only moves forward"
+                )
+            self.shadow.advance(at)
+            weight = self.shadow.remaining_weight()
+            return {
+                "t": at,
+                "remaining_weight": weight,
+                "speed": self.power.speed(weight),
+                "active": self.shadow.remaining_items(),
+            }
+
+    async def schedule(self) -> tuple[Schedule, int]:
+        """The session algorithm's schedule over all arrivals so far."""
+        self._check_open()
+        async with self.lock:
+            self._drain()
+            inst = self._instance()
+            sched = simulate_session_algorithm(
+                self.algorithm,
+                inst,
+                self.power,
+                context=self.context,
+                max_step=self.max_step,
+            )
+            return sched, len(inst)
+
+    async def metrics(self) -> tuple[CostReport, dict[str, int], int]:
+        """Exact cost report of the current schedule plus shadow counters."""
+        self._check_open()
+        async with self.lock:
+            self._drain()
+            inst = self._instance()
+            sched = simulate_session_algorithm(
+                self.algorithm,
+                inst,
+                self.power,
+                context=self.context,
+                max_step=self.max_step,
+            )
+            report = evaluate(sched, inst, self.power)
+            return report, self.context.counters.as_dict(), len(inst)
+
+    async def verified_report(self) -> TraceReport:
+        """Trace a (C, NC) pair over the current arrivals and replay it
+        through the streaming verifier (Lemma 3 energy equality, Lemma 4
+        flow ratio, per-component ordering) — verification from the trace
+        alone, exactly the ``repro trace`` pipeline."""
+        self._check_open()
+        async with self.lock:
+            self._drain()
+            inst = self._instance()
+            if not inst.is_uniform_density():
+                raise InvalidInstanceError(
+                    "verified reports replay the Lemma 3/4 pair, which needs "
+                    "uniform densities; non-uniform sessions expose metrics instead"
+                )
+            rec = MemoryRecorder()
+            context = SimulationContext(
+                self.power, recorder=rec, backend=self.context.backend
+            )
+            context.emit(
+                "run_meta",
+                0.0,
+                "service",
+                alpha=self.power.alpha,
+                session=self.session_id,
+                instance=[[j.job_id, j.release, j.volume, j.density] for j in inst],
+                algorithms=["C", "NC"],
+            )
+            simulate_clairvoyant(inst, self.power, context=context)
+            simulate_nc_uniform(inst, self.power, context=context)
+            return build_report(iter(rec))
+
+
+class Campaign:
+    """One sharded campaign: a ``run_sharded`` call tracked as a task."""
+
+    def __init__(self, campaign_id: str, request: CampaignRequest) -> None:
+        self.campaign_id = campaign_id
+        self.request = request
+        self.state = "running"
+        self.error: str | None = None
+        self.result: dict[str, Any] | None = None
+        self.task: asyncio.Task[None] | None = None
+
+    def _instance(self) -> Instance:
+        if self.request.jobs:
+            return Instance(j.to_job() for j in self.request.jobs)
+        from ..workloads import random_instance
+
+        return random_instance(self.request.n_jobs, self.request.seed, density="unit")
+
+    def _run_blocking(self) -> dict[str, Any]:
+        """The worker-thread body: shard, execute, merge, differential-check."""
+        from ..parallel.shard import run_sharded
+        from ..runtime.pool import PoolPolicy
+
+        req = self.request
+        inst = self._instance()
+        power = PowerLaw(req.alpha)
+        result = run_sharded(
+            inst,
+            power,
+            req.machines,
+            algorithm=req.algorithm,
+            n_shards=req.n_shards,
+            policy=PoolPolicy(workers=req.workers),
+            force_serial=req.force_serial,
+        )
+        serial = result.cluster.report()
+        return {
+            "shards": len(result.shards),
+            "resumed": result.resumed,
+            "bit_identical": result.report == serial,
+            "report": result.report,
+            "n_jobs": len(inst),
+        }
+
+    async def run(self) -> None:
+        try:
+            self.result = await asyncio.to_thread(self._run_blocking)
+            self.state = "done"
+        except Exception as exc:  # noqa: BLE001 — campaign failures are data
+            self.state = "failed"
+            self.error = f"{type(exc).__name__}: {exc}"
+
+
+class SessionManager:
+    """The service's root object: sessions and campaigns keyed by id."""
+
+    def __init__(self) -> None:
+        self.sessions: dict[str, Session] = {}
+        self.campaigns: dict[str, Campaign] = {}
+        self._ids = itertools.count(1)
+        self._lock = asyncio.Lock()
+
+    def _mint_id(self, prefix: str) -> str:
+        return f"{prefix}-{next(self._ids):06d}"
+
+    async def create_session(self, request: SessionCreateRequest) -> Session:
+        async with self._lock:
+            sid = request.session_id or self._mint_id("session")
+            if sid in self.sessions:
+                raise KeyError(f"session {sid!r} already exists")
+            session = Session(sid, request)
+            self.sessions[sid] = session
+        if request.jobs:
+            await session.submit([j.to_job() for j in request.jobs])
+        return session
+
+    def get_session(self, session_id: str) -> Session:
+        try:
+            return self.sessions[session_id]
+        except KeyError:
+            raise KeyError(f"no session {session_id!r}") from None
+
+    async def delete_session(self, session_id: str) -> Session:
+        session = self.get_session(session_id)
+        await session.close()
+        async with self._lock:
+            self.sessions.pop(session_id, None)
+        return session
+
+    async def launch_campaign(self, request: CampaignRequest) -> Campaign:
+        async with self._lock:
+            cid = request.campaign_id or self._mint_id("campaign")
+            if cid in self.campaigns:
+                raise KeyError(f"campaign {cid!r} already exists")
+            campaign = Campaign(cid, request)
+            self.campaigns[cid] = campaign
+        campaign.task = asyncio.create_task(campaign.run())
+        return campaign
+
+    def get_campaign(self, campaign_id: str) -> Campaign:
+        try:
+            return self.campaigns[campaign_id]
+        except KeyError:
+            raise KeyError(f"no campaign {campaign_id!r}") from None
+
+    async def shutdown(self) -> None:
+        """Graceful shutdown: settle campaigns, close every session (flushing
+        trace sinks).  Called from the app's ASGI lifespan hook."""
+        for campaign in self.campaigns.values():
+            if campaign.task is not None and not campaign.task.done():
+                try:
+                    await campaign.task
+                except Exception:  # noqa: BLE001 — state captured in run()
+                    pass
+        for session in list(self.sessions.values()):
+            await session.close()

@@ -1,0 +1,418 @@
+"""End-to-end tests of the scheduling service (:mod:`repro.service`).
+
+The load-bearing claims:
+
+* **Differential bit-identity** (the ISSUE's acceptance test): a session fed
+  jobs through the HTTP API yields schedules bit-identical to driving the
+  same instance through :class:`~repro.core.shadow.SimulationContext`
+  directly, for every session algorithm — floats compared exactly after a
+  full JSON round trip.
+* **Isolation**: two sessions with interleaved arrival streams produce the
+  same schedules as the same workloads run in isolated sessions.
+* **Backpressure**: a batch that would overflow the bounded per-session
+  queue is rejected whole with 429 and leaves no partial state behind.
+* **Verified reports**: the ``/report`` endpoint replays a traced (C, NC)
+  pair through the streaming verifier and the Lemma 3/4 checks hold.
+* **Graceful shutdown** flushes per-session trace sinks (on DELETE and on
+  service shutdown), and the dependency-free socket server serves the same
+  app over real HTTP.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import threading
+import time
+import urllib.request
+
+import pytest
+
+pytest.importorskip("pydantic")
+
+from repro import io
+from repro.core.job import Instance, Job
+from repro.core.power import PowerLaw
+from repro.core.shadow import SimulationContext
+from repro.core.tracing import iter_trace
+from repro.service import TestClient, create_app, serve
+from repro.service.models import ScheduleModel
+from repro.service.sessions import simulate_session_algorithm
+from repro.workloads import random_instance
+
+ALPHA = 3.0
+
+
+@pytest.fixture()
+def client():
+    with TestClient(create_app()) as c:
+        yield c
+
+
+def _batches(inst: Instance, size: int):
+    jobs = [
+        {"id": j.job_id, "release": j.release, "volume": j.volume, "density": j.density}
+        for j in inst
+    ]
+    return [jobs[i : i + size] for i in range(0, len(jobs), size)]
+
+
+def _feed(client: TestClient, session_id: str, inst: Instance, *, batch: int = 3) -> None:
+    for chunk in _batches(inst, batch):
+        resp = client.post(f"/sessions/{session_id}/jobs", json_body={"jobs": chunk})
+        assert resp.status_code == 202, resp.json()
+
+
+# -- meta / lifecycle ---------------------------------------------------------
+
+
+def test_health_and_algorithms(client):
+    assert client.get("/health").json()["status"] == "ok"
+    algos = client.get("/algorithms").json()
+    assert algos["session"] == ["C", "NC", "NC_GENERAL"]
+    assert algos["campaign"] == ["nc_par", "c_par"]
+
+
+def test_session_lifecycle(client):
+    resp = client.post("/sessions", json_body={"session_id": "s1", "alpha": 2.5})
+    assert resp.status_code == 201
+    info = resp.json()
+    assert info["session_id"] == "s1"
+    assert info["alpha"] == 2.5
+    assert not info["closed"]
+
+    assert client.get("/sessions/s1").status_code == 200
+    listed = client.get("/sessions").json()["sessions"]
+    assert [s["session_id"] for s in listed] == ["s1"]
+
+    # Duplicate id conflicts; minted ids don't.
+    assert client.post("/sessions", json_body={"session_id": "s1"}).status_code == 409
+    minted = client.post("/sessions", json_body={})
+    assert minted.status_code == 201
+    assert minted.json()["session_id"]
+
+    gone = client.delete("/sessions/s1")
+    assert gone.status_code == 200 and gone.json()["closed"]
+    assert client.get("/sessions/s1").status_code == 404
+    assert client.delete("/sessions/s1").status_code == 404
+
+
+def test_validation_and_routing_errors(client):
+    assert client.get("/nope").status_code == 404
+    assert client.request("PUT", "/sessions").status_code == 405
+    assert client.post("/sessions", json_body={"alpha": 0.5}).status_code == 422
+    assert client.post("/sessions", json_body={"surprise": 1}).status_code == 422
+    resp = client.request("POST", "/sessions", json_body=None)
+    assert resp.status_code == 201  # empty body is a default session
+    sid = resp.json()["session_id"]
+    assert client.post(f"/sessions/{sid}/jobs", json_body={"jobs": []}).status_code == 422
+    assert client.get(f"/sessions/{sid}/schedule").status_code == 409  # no jobs yet
+
+
+def test_out_of_order_release_conflicts(client):
+    client.post("/sessions", json_body={"session_id": "s"})
+    _feed(client, "s", Instance([Job(0, 0.0, 1.0), Job(1, 1.0, 1.0)]))
+    resp = client.post(
+        "/sessions/s/jobs",
+        json_body={"jobs": [{"id": 2, "release": 0.5, "volume": 1.0}]},
+    )
+    assert resp.status_code == 409
+    # The rejected arrival left no state behind.
+    assert client.get("/sessions/s").json()["jobs_accepted"] == 2
+
+
+# -- backpressure -------------------------------------------------------------
+
+
+def test_backpressure_rejects_whole_batch(client):
+    client.post("/sessions", json_body={"session_id": "s", "queue_limit": 4})
+    too_big = [
+        {"id": i, "release": float(i), "volume": 1.0} for i in range(5)
+    ]
+    resp = client.post("/sessions/s/jobs", json_body={"jobs": too_big})
+    assert resp.status_code == 429
+    assert "retry" in resp.json()["detail"]
+    assert client.get("/sessions/s").json()["jobs_accepted"] == 0
+    # A batch that fits is accepted in full afterwards.
+    ok = client.post("/sessions/s/jobs", json_body={"jobs": too_big[:4]})
+    assert ok.status_code == 202 and ok.json()["accepted"] == 4
+
+
+# -- the differential acceptance test -----------------------------------------
+
+
+@pytest.mark.parametrize(
+    "algorithm,density",
+    [("C", "unit"), ("NC", "unit"), ("NC_GENERAL", "loguniform")],
+)
+def test_api_schedule_bit_identical_to_direct_drive(client, algorithm, density):
+    """Jobs fed via the API produce the byte-for-byte schedule a direct
+    ``SimulationContext`` drive of the same instance produces."""
+    inst = random_instance(12, seed=21, density=density)
+    client.post(
+        "/sessions", json_body={"session_id": "s", "algorithm": algorithm, "alpha": ALPHA}
+    )
+    _feed(client, "s", inst, batch=4)
+
+    resp = client.get("/sessions/s/schedule")
+    assert resp.status_code == 200
+    body = resp.json()
+    assert body["n_jobs"] == len(inst)
+    via_api = ScheduleModel.model_validate(body["schedule"]).to_schedule()
+
+    direct = simulate_session_algorithm(
+        algorithm, inst, PowerLaw(ALPHA), context=SimulationContext(PowerLaw(ALPHA))
+    )
+    assert io.schedule_to_dict(via_api) == io.schedule_to_dict(direct)
+
+
+def test_api_speeds_match_direct_shadow(client):
+    inst = random_instance(10, seed=4, density="unit")
+    client.post("/sessions", json_body={"session_id": "s", "alpha": ALPHA})
+    _feed(client, "s", inst)
+
+    power = PowerLaw(ALPHA)
+    shadow = SimulationContext(power).shadow(component="direct")
+    for j in inst:
+        shadow.insert_job(j.job_id, j.release, j.density, j.volume)
+        shadow.advance(j.release)
+    t = max(j.release for j in inst) + 0.25
+    shadow.advance(t)
+    expected_w = shadow.remaining_weight()
+
+    view = client.get("/sessions/s/speeds", query=f"t={t}").json()
+    assert view["remaining_weight"] == expected_w
+    assert view["speed"] == power.speed(expected_w)
+    assert view["active_jobs"] == [
+        {"id": jid, "density": den, "remaining_volume": rem}
+        for jid, den, rem in shadow.remaining_items()
+    ]
+    # The live shadow only moves forward.
+    assert client.get("/sessions/s/speeds", query="t=0.0").status_code == 409
+
+
+def test_interleaved_sessions_match_isolated_runs():
+    """Two sessions streamed in interleaved order behave exactly like the
+    same two workloads in isolated sessions — no shared mutable state."""
+    inst_a = random_instance(9, seed=31, density="unit")
+    inst_b = random_instance(9, seed=32, density="loguniform")
+
+    def schedules(interleave: bool):
+        with TestClient(create_app()) as c:
+            c.post("/sessions", json_body={"session_id": "a", "algorithm": "NC"})
+            c.post("/sessions", json_body={"session_id": "b", "algorithm": "NC_GENERAL"})
+            ba, bb = _batches(inst_a, 2), _batches(inst_b, 2)
+            if interleave:
+                for i in range(max(len(ba), len(bb))):
+                    if i < len(ba):
+                        assert c.post("/sessions/a/jobs", json_body={"jobs": ba[i]}).status_code == 202
+                    if i < len(bb):
+                        assert c.post("/sessions/b/jobs", json_body={"jobs": bb[i]}).status_code == 202
+                        # Queries on one session between the other's arrivals
+                        # must not disturb either.
+                        assert c.get("/sessions/b/speeds").status_code == 200
+            else:
+                for chunk in ba:
+                    assert c.post("/sessions/a/jobs", json_body={"jobs": chunk}).status_code == 202
+                for chunk in bb:
+                    assert c.post("/sessions/b/jobs", json_body={"jobs": chunk}).status_code == 202
+            return (
+                c.get("/sessions/a/schedule").json()["schedule"],
+                c.get("/sessions/b/schedule").json()["schedule"],
+            )
+
+    assert schedules(interleave=True) == schedules(interleave=False)
+
+
+# -- metrics / gantt / verified report ----------------------------------------
+
+
+def test_metrics_and_gantt(client):
+    inst = random_instance(8, seed=2, density="unit")
+    client.post("/sessions", json_body={"session_id": "s"})
+    _feed(client, "s", inst)
+
+    metrics = client.get("/sessions/s/metrics").json()
+    assert metrics["n_jobs"] == len(inst)
+    assert metrics["report"]["energy"] > 0
+    assert metrics["counters"]["inserts"] >= len(inst)
+
+    gantt = client.get("/sessions/s/gantt", query="width=48").json()
+    assert gantt["width"] == 48
+    assert gantt["end_time"] > 0
+    assert gantt["chart"]
+    assert client.get("/sessions/s/gantt", query="width=2").status_code == 400
+
+
+def test_verified_report_replays_lemmas(client):
+    inst = random_instance(10, seed=9, density="unit")
+    client.post("/sessions", json_body={"session_id": "s"})
+    _feed(client, "s", inst)
+
+    report = client.get("/sessions/s/report").json()
+    assert report["ok"] is True
+    names = [c["name"] for c in report["checks"]]
+    assert any("Lemma 3" in n for n in names)
+    assert any("Lemma 4" in n for n in names)
+    assert all(c["holds"] for c in report["checks"])
+    assert report["order_violations"] == []
+    assert set(report["energies"]) == {"C", "NC"}
+
+
+def test_verified_report_needs_uniform_density(client):
+    client.post("/sessions", json_body={"session_id": "s"})
+    client.post(
+        "/sessions/s/jobs",
+        json_body={"jobs": [
+            {"id": 0, "release": 0.0, "volume": 1.0, "density": 2.0},
+            {"id": 1, "release": 0.5, "volume": 1.0, "density": 1.0},
+        ]},
+    )
+    assert client.get("/sessions/s/report").status_code == 409
+
+
+# -- campaigns ----------------------------------------------------------------
+
+
+def test_campaign_end_to_end(client):
+    resp = client.post(
+        "/campaigns",
+        json_body={"campaign_id": "camp", "machines": 3, "n_jobs": 12, "seed": 5},
+    )
+    assert resp.status_code == 202
+    assert resp.json()["state"] == "running"
+    assert client.post(
+        "/campaigns", json_body={"campaign_id": "camp"}
+    ).status_code == 409
+
+    deadline = time.time() + 30
+    status = resp.json()
+    while status["state"] == "running" and time.time() < deadline:
+        time.sleep(0.05)
+        status = client.get("/campaigns/camp").json()
+    assert status["state"] == "done", status
+    assert status["bit_identical"] is True
+    assert status["shards"] >= 1
+    assert status["report"]["energy"] > 0
+    assert [c["campaign_id"] for c in client.get("/campaigns").json()["campaigns"]] == ["camp"]
+    assert client.get("/campaigns/nope").status_code == 404
+
+
+# -- tracing + shutdown -------------------------------------------------------
+
+
+def test_delete_flushes_trace_sink(client, tmp_path):
+    trace = tmp_path / "session.jsonl"
+    client.post(
+        "/sessions",
+        json_body={"session_id": "s", "trace_path": str(trace)},
+    )
+    inst = random_instance(6, seed=13, density="unit")
+    _feed(client, "s", inst)
+    info = client.get("/sessions/s").json()
+    assert info["trace_paths"] == [str(trace)]
+    client.delete("/sessions/s")
+
+    events = list(iter_trace([trace]))
+    kinds = [e.kind for e in events]
+    assert "run_meta" in kinds
+    assert kinds.count("arrival") == len(inst)
+    assert kinds[-1] == "session_close"
+
+
+def test_service_shutdown_flushes_open_sessions(tmp_path):
+    trace = tmp_path / "open-session.jsonl"
+    client = TestClient(create_app())
+    client.__enter__()
+    client.post("/sessions", json_body={"session_id": "s", "trace_path": str(trace)})
+    client.post(
+        "/sessions/s/jobs",
+        json_body={"jobs": [{"id": 0, "release": 0.0, "volume": 1.0}]},
+    )
+    # No DELETE: the lifespan shutdown must close and flush the sink.
+    client.close()
+    kinds = [e.kind for e in iter_trace([trace])]
+    assert "arrival" in kinds and kinds[-1] == "session_close"
+
+
+def test_closed_session_rejects_requests(client):
+    client.post("/sessions", json_body={"session_id": "s"})
+    # Close via the manager (DELETE removes it from the registry entirely).
+    manager = client.app.state["manager"]
+    client._loop.run_until_complete(manager.get_session("s").close())
+    resp = client.post(
+        "/sessions/s/jobs",
+        json_body={"jobs": [{"id": 0, "release": 0.0, "volume": 1.0}]},
+    )
+    assert resp.status_code == 409
+
+
+# -- the dependency-free socket server ----------------------------------------
+
+
+def _free_port() -> int:
+    with socket.socket() as s:
+        s.bind(("127.0.0.1", 0))
+        return s.getsockname()[1]
+
+
+def _http(method: str, url: str, payload=None):
+    data = None if payload is None else json.dumps(payload).encode()
+    req = urllib.request.Request(
+        url, data=data, method=method, headers={"content-type": "application/json"}
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=10) as resp:
+            return resp.status, json.loads(resp.read() or b"null")
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read() or b"null")
+
+
+def test_socket_server_serves_the_app(tmp_path):
+    port = _free_port()
+    trace = tmp_path / "served.jsonl"
+    app = create_app()
+    loop = asyncio.new_event_loop()
+    ready = asyncio.Event()
+    stop = asyncio.Event()
+
+    def run():
+        asyncio.set_event_loop(loop)
+        loop.run_until_complete(
+            serve(app, "127.0.0.1", port, ready=ready, shutdown_trigger=stop)
+        )
+        loop.close()
+
+    thread = threading.Thread(target=run, daemon=True)
+    thread.start()
+    deadline = time.time() + 10
+    while not ready.is_set() and time.time() < deadline:
+        time.sleep(0.01)
+    assert ready.is_set(), "server never came up"
+    base = f"http://127.0.0.1:{port}"
+
+    try:
+        status, body = _http("GET", f"{base}/health")
+        assert status == 200 and body["status"] == "ok"
+        status, body = _http(
+            "POST", f"{base}/sessions",
+            {"session_id": "over-http", "trace_path": str(trace)},
+        )
+        assert status == 201
+        status, body = _http(
+            "POST", f"{base}/sessions/over-http/jobs",
+            {"jobs": [{"id": 1, "release": 0.0, "volume": 2.0}]},
+        )
+        assert status == 202 and body["accepted"] == 1
+        status, body = _http("GET", f"{base}/sessions/over-http/speeds")
+        assert status == 200 and body["speed"] > 0
+        status, body = _http("GET", f"{base}/sessions/missing")
+        assert status == 404
+    finally:
+        loop.call_soon_threadsafe(stop.set)
+        thread.join(timeout=10)
+    assert not thread.is_alive()
+    # serve()'s shutdown path flushed the session sink.
+    kinds = [e.kind for e in iter_trace([trace])]
+    assert "arrival" in kinds and kinds[-1] == "session_close"

@@ -1,0 +1,140 @@
+"""Round-trip stability of the service's pydantic models.
+
+The models mirror :mod:`repro.io` field for field, and these tests pin the
+sharper claim the differential endpoint test builds on: a full
+``object -> model -> JSON -> model -> object`` cycle is *bit-stable* — every
+float comes back identical, verified against the ``repro.io`` dictionaries
+(the repo's canonical serialization).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+pytest.importorskip("pydantic")
+
+from repro import io
+from repro.core.job import Instance, Job
+from repro.core.metrics import evaluate
+from repro.core.power import PowerLaw
+from repro.core.schedule import (
+    ConstantSegment,
+    DecaySegment,
+    GrowthSegment,
+    IdleSegment,
+    ScaledSegment,
+    Schedule,
+)
+from repro.algorithms import (
+    simulate_clairvoyant,
+    simulate_nc_general,
+    simulate_nc_uniform,
+)
+from repro.service.models import (
+    InstanceModel,
+    JobModel,
+    ReportModel,
+    ScheduleModel,
+)
+from repro.workloads import random_instance
+
+ALPHA = 3.0
+
+
+def _roundtrip(model_cls, model):
+    """model -> JSON -> model, through the exact-float JSON path."""
+    return model_cls.model_validate_json(model.model_dump_json())
+
+
+# -- instances ----------------------------------------------------------------
+
+
+@pytest.mark.parametrize("density", ["unit", "loguniform", "powers"])
+def test_instance_roundtrip_bit_stable(density):
+    inst = random_instance(25, seed=11, volume="pareto", density=density)
+    back = _roundtrip(InstanceModel, InstanceModel.from_instance(inst)).to_instance()
+    # Bit-stable against the repo's canonical serialization.
+    assert io.instance_to_dict(back) == io.instance_to_dict(inst)
+    assert [(j.job_id, j.release, j.volume, j.density) for j in back] == [
+        (j.job_id, j.release, j.volume, j.density) for j in inst
+    ]
+
+
+def test_job_model_validation():
+    from pydantic import ValidationError
+
+    with pytest.raises(ValidationError):
+        JobModel(id=1, release=-0.1, volume=1.0)
+    with pytest.raises(ValidationError):
+        JobModel(id=1, release=0.0, volume=0.0)
+    with pytest.raises(ValidationError):
+        JobModel(id=1, release=0.0, volume=1.0, density=-2.0)
+
+
+# -- schedules ----------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "algorithm,density",
+    [("C", "unit"), ("NC", "unit"), ("NC_GENERAL", "loguniform")],
+)
+def test_schedule_roundtrip_bit_stable(algorithm, density):
+    inst = random_instance(10, seed=7, density=density)
+    power = PowerLaw(ALPHA)
+    if algorithm == "C":
+        sched = simulate_clairvoyant(inst, power).schedule
+    elif algorithm == "NC":
+        sched = simulate_nc_uniform(inst, power).schedule
+    else:
+        sched = simulate_nc_general(inst, power, max_step=2e-2).schedule
+    back = _roundtrip(ScheduleModel, ScheduleModel.from_schedule(sched)).to_schedule()
+    assert io.schedule_to_dict(back) == io.schedule_to_dict(sched)
+    # The reconstructed schedule is also *behaviorally* identical: its exact
+    # cost report matches bit for bit.
+    assert evaluate(back, inst, power) == evaluate(sched, inst, power)
+
+
+def test_schedule_roundtrip_all_segment_kinds():
+    # Hand-built schedule covering every segment kind, including the nested
+    # scaled case no single algorithm emits.
+    base = DecaySegment(0.0, 1.0, 3, 2.0, 1.0, ALPHA)
+    sched = Schedule(
+        [
+            base,
+            ScaledSegment(1.0, 1.5, 3, DecaySegment(1.0, 1.5, 3, 1.2, 1.0, ALPHA), 0.5),
+            GrowthSegment(1.5, 2.0, 4, 0.7, 1.0, ALPHA),
+            ConstantSegment(2.0, 2.5, 4, 1.25),
+            IdleSegment(2.5, 3.0, None),
+        ]
+    )
+    back = _roundtrip(ScheduleModel, ScheduleModel.from_schedule(sched)).to_schedule()
+    assert io.schedule_to_dict(back) == io.schedule_to_dict(sched)
+    for t in (0.0, 0.5, 1.2, 1.7, 2.2, 2.7):
+        assert back.speed_at(t) == sched.speed_at(t)
+
+
+# -- reports ------------------------------------------------------------------
+
+
+def test_report_roundtrip_bit_stable():
+    inst = random_instance(12, seed=3, density="unit")
+    power = PowerLaw(ALPHA)
+    sched = simulate_nc_uniform(inst, power).schedule
+    report = evaluate(sched, inst, power)
+    back = _roundtrip(ReportModel, ReportModel.from_report(report)).to_report()
+    assert back == report
+    assert io.report_to_dict(back) == io.report_to_dict(report)
+    # The precomputed aggregates in the model match the source exactly too.
+    model = ReportModel.from_report(report)
+    assert model.fractional_objective == report.fractional_objective
+    assert model.integral_objective == report.integral_objective
+
+
+def test_instance_model_matches_io_dict_shape():
+    # The JSON the API serves can be fed straight back through repro.io.
+    inst = Instance([Job(0, 0.0, 2.0, 1.0), Job(1, 0.5, 1.0, 1.0)])
+    payload = InstanceModel.from_instance(inst).model_dump()
+    as_io = io.instance_from_dict(
+        {"schema": payload["schema_version"], "jobs": payload["jobs"]}
+    )
+    assert io.instance_to_dict(as_io) == io.instance_to_dict(inst)
