@@ -387,7 +387,14 @@ async def _handle_connection(
             value = value.strip()
             headers.append((name, value))
             if name == b"content-length":
-                content_length = int(value)
+                try:
+                    content_length = int(value)
+                    if content_length < 0:
+                        raise ValueError(value)
+                except ValueError:
+                    writer.write(b"HTTP/1.1 400 Bad Request\r\ncontent-length: 0\r\n\r\n")
+                    await writer.drain()
+                    return
         body = await reader.readexactly(content_length) if content_length else b""
         path, _, query = target.partition("?")
         scope = {

@@ -32,7 +32,7 @@ from typing import Any
 
 from ..algorithms import simulate_clairvoyant, simulate_nc_general, simulate_nc_uniform
 from ..analysis.trace_report import TraceReport, build_report
-from ..core.errors import InvalidInstanceError
+from ..core.errors import InvalidInstanceError, SimulationError
 from ..core.job import Instance, Job
 from ..core.metrics import CostReport, evaluate
 from ..core.power import PowerLaw
@@ -152,7 +152,6 @@ class Session:
         async with self.lock:
             if self.closed:
                 return
-            self._drain()
             self.closed = True
             self.context.emit(
                 "session_close",
@@ -169,20 +168,52 @@ class Session:
     async def submit(self, jobs: list[Job]) -> int:
         """Stream a batch of arrivals in; returns the number accepted.
 
-        Batches are all-or-nothing: if the bounded queue cannot absorb the
-        whole batch the request fails with :class:`Backpressure` and nothing
-        is enqueued (a partial batch would silently reorder arrivals relative
-        to the client's retry).
+        Batches are all-or-nothing: the whole batch is vetted under the lock
+        *before* any state mutation — if it would overflow the bounded queue
+        the request fails with :class:`Backpressure`, and if any member is
+        out of order or a duplicate the request fails with
+        :class:`~repro.core.errors.SimulationError` — and in both cases
+        nothing is enqueued or committed, so a corrected retry of the same
+        batch succeeds (a partial admit would silently reorder arrivals
+        relative to the client's retry).
         """
-        self._check_open()
-        depth = self.queue.qsize()
-        if depth + len(jobs) > self.queue_limit:
-            raise Backpressure(depth, self.queue_limit, len(jobs))
-        for job in jobs:
-            self.queue.put_nowait(job)
         async with self.lock:
+            self._check_open()
+            depth = self.queue.qsize()
+            if depth + len(jobs) > self.queue_limit:
+                raise Backpressure(depth, self.queue_limit, len(jobs))
+            self._validate_batch(jobs)
+            for job in jobs:
+                self.queue.put_nowait(job)
             self._drain()
         return len(jobs)
+
+    def _validate_batch(self, jobs: list[Job]) -> None:
+        """Reject a whole arrival batch before any mutation (lock held).
+
+        Mirrors the shadow's own rejection rules — duplicate ids and
+        releases behind the committed clock — plus in-batch release
+        monotonicity, so :meth:`_drain` cannot fail partway through and
+        leave a prefix of the batch committed with the rest stranded in
+        the queue.  (Positive volumes/densities are already enforced by
+        the pydantic layer and :class:`~repro.core.job.Job` itself.)
+        """
+        known = {j.job_id for j in self.jobs}
+        clock = self.clock
+        for job in jobs:
+            if job.job_id in known:
+                raise SimulationError(
+                    f"job {job.job_id} already known to session "
+                    f"{self.session_id!r}; batch rejected, nothing committed"
+                )
+            if job.release < clock:
+                raise SimulationError(
+                    f"job {job.job_id} released at {job.release}, before the "
+                    f"session clock {clock}; arrivals must be streamed in "
+                    "release order — batch rejected, nothing committed"
+                )
+            known.add(job.job_id)
+            clock = job.release
 
     def _drain(self) -> None:
         """Move queued arrivals into the live shadow (lock held).
@@ -190,7 +221,9 @@ class Session:
         Each arrival is revealed to Algorithm C's shadow and the session
         clock advances to its release — exactly the online order a fresh
         clairvoyant run would see, so session state stays bit-identical to a
-        from-scratch simulation over the same prefix.
+        from-scratch simulation over the same prefix.  Only :meth:`submit`
+        enqueues, and only after :meth:`_validate_batch` vetted the batch,
+        so every queued job here is committable.
         """
         while True:
             try:
@@ -221,30 +254,52 @@ class Session:
         return Instance(self.jobs)
 
     async def speeds(self, t: float | None = None) -> dict[str, Any]:
-        """Live speed view at ``t`` (default: the session clock)."""
+        """Live speed view at ``t`` (default: the session clock).
+
+        Side-effect-free: a query beyond the session clock is answered from
+        a fresh replay of the arrivals so far advanced to ``t`` — the exact
+        drive a direct :class:`SimulationContext` run performs — so the live
+        shadow's committed clock never moves past the last arrival and a
+        read can never narrow which future arrivals the session accepts.
+        """
         self._check_open()
         async with self.lock:
-            self._drain()
             at = self.clock if t is None else t
             if at < self.clock:
                 raise InvalidInstanceError(
                     f"t={at} is before the session clock {self.clock}; "
                     "the live shadow only moves forward"
                 )
-            self.shadow.advance(at)
-            weight = self.shadow.remaining_weight()
+            shadow = self.shadow
+            if at > self.clock:
+                shadow = self._speculative_shadow()
+                shadow.advance(at)
+            weight = shadow.remaining_weight()
             return {
                 "t": at,
                 "remaining_weight": weight,
                 "speed": self.power.speed(weight),
-                "active": self.shadow.remaining_items(),
+                "active": shadow.remaining_items(),
             }
+
+    def _speculative_shadow(self):
+        """Fresh untraced replay of the arrivals so far (lock held).
+
+        Bit-identical to driving the same prefix through a direct
+        :class:`SimulationContext` — the substrate for speculative
+        future-``t`` queries, discarded after the read."""
+        shadow = SimulationContext(self.power, backend=self.context.backend).shadow(
+            component="service.speculative"
+        )
+        for job in self.jobs:
+            shadow.insert_job(job.job_id, job.release, job.density, job.volume)
+            shadow.advance(job.release)
+        return shadow
 
     async def schedule(self) -> tuple[Schedule, int]:
         """The session algorithm's schedule over all arrivals so far."""
         self._check_open()
         async with self.lock:
-            self._drain()
             inst = self._instance()
             sched = simulate_session_algorithm(
                 self.algorithm,
@@ -259,7 +314,6 @@ class Session:
         """Exact cost report of the current schedule plus shadow counters."""
         self._check_open()
         async with self.lock:
-            self._drain()
             inst = self._instance()
             sched = simulate_session_algorithm(
                 self.algorithm,
@@ -278,7 +332,6 @@ class Session:
         alone, exactly the ``repro trace`` pipeline."""
         self._check_open()
         async with self.lock:
-            self._drain()
             inst = self._instance()
             if not inst.is_uniform_density():
                 raise InvalidInstanceError(

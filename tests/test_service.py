@@ -122,6 +122,69 @@ def test_out_of_order_release_conflicts(client):
     assert client.get("/sessions/s").json()["jobs_accepted"] == 2
 
 
+def test_midbatch_conflict_commits_nothing(client):
+    """A batch whose *middle* member is invalid is rejected whole: jobs
+    before the failure are not committed, jobs after it are not stranded in
+    the queue for a later request to commit, and a corrected retry of the
+    same ids succeeds."""
+    client.post("/sessions", json_body={"session_id": "s"})
+    _feed(client, "s", Instance([Job(0, 0.0, 1.0), Job(1, 1.0, 1.0)]))
+    bad = {"jobs": [
+        {"id": 2, "release": 2.0, "volume": 1.0},
+        {"id": 3, "release": 0.5, "volume": 1.0},  # out of order mid-batch
+        {"id": 4, "release": 3.0, "volume": 1.0},
+    ]}
+    assert client.post("/sessions/s/jobs", json_body=bad).status_code == 409
+    assert client.get("/sessions/s").json()["jobs_accepted"] == 2
+    assert client.get("/sessions/s").json()["queue_depth"] == 0
+    # Reads between retries must not commit stranded batch members.
+    assert client.get("/sessions/s/speeds").status_code == 200
+    info = client.get("/sessions/s").json()
+    assert info["jobs_accepted"] == 2 and info["clock"] == 1.0
+    # The corrected retry reuses the same ids and lands in full.
+    good = {"jobs": [
+        {"id": 2, "release": 2.0, "volume": 1.0},
+        {"id": 3, "release": 2.5, "volume": 1.0},
+        {"id": 4, "release": 3.0, "volume": 1.0},
+    ]}
+    ok = client.post("/sessions/s/jobs", json_body=good)
+    assert ok.status_code == 202, ok.json()
+    assert ok.json()["jobs_accepted"] == 5
+
+
+def test_duplicate_id_rejects_whole_batch(client):
+    client.post("/sessions", json_body={"session_id": "s"})
+    _feed(client, "s", Instance([Job(0, 0.0, 1.0)]))
+    # Duplicate against an accepted job, and duplicate within the batch:
+    for bad in (
+        [{"id": 1, "release": 1.0, "volume": 1.0}, {"id": 0, "release": 2.0, "volume": 1.0}],
+        [{"id": 1, "release": 1.0, "volume": 1.0}, {"id": 1, "release": 2.0, "volume": 1.0}],
+    ):
+        assert client.post("/sessions/s/jobs", json_body={"jobs": bad}).status_code == 409
+        assert client.get("/sessions/s").json()["jobs_accepted"] == 1
+    ok = client.post(
+        "/sessions/s/jobs",
+        json_body={"jobs": [{"id": 1, "release": 1.0, "volume": 1.0}]},
+    )
+    assert ok.status_code == 202 and ok.json()["jobs_accepted"] == 2
+
+
+def test_future_speed_query_is_side_effect_free(client):
+    """``GET /speeds?t=`` beyond the session clock answers speculatively and
+    must not advance the committed clock — later arrivals with releases
+    before ``t`` (but at/after the last release) stay admissible."""
+    client.post("/sessions", json_body={"session_id": "s"})
+    _feed(client, "s", Instance([Job(0, 0.0, 4.0)]))
+    view = client.get("/sessions/s/speeds", query="t=50.0").json()
+    assert view["t"] == 50.0
+    assert client.get("/sessions/s").json()["clock"] == 0.0
+    ok = client.post(
+        "/sessions/s/jobs",
+        json_body={"jobs": [{"id": 1, "release": 0.5, "volume": 1.0}]},
+    )
+    assert ok.status_code == 202, ok.json()
+
+
 # -- backpressure -------------------------------------------------------------
 
 
@@ -409,6 +472,13 @@ def test_socket_server_serves_the_app(tmp_path):
         assert status == 200 and body["speed"] > 0
         status, body = _http("GET", f"{base}/sessions/missing")
         assert status == 404
+        # A malformed Content-Length gets a 400, not a dropped connection.
+        with socket.create_connection(("127.0.0.1", port), timeout=10) as raw:
+            raw.sendall(b"GET /health HTTP/1.1\r\ncontent-length: nope\r\n\r\n")
+            assert raw.recv(1024).startswith(b"HTTP/1.1 400")
+        with socket.create_connection(("127.0.0.1", port), timeout=10) as raw:
+            raw.sendall(b"GET /health HTTP/1.1\r\ncontent-length: -5\r\n\r\n")
+            assert raw.recv(1024).startswith(b"HTTP/1.1 400")
     finally:
         loop.call_soon_threadsafe(stop.set)
         thread.join(timeout=10)
