@@ -7,7 +7,7 @@
 PYTEST := PYTHONPATH=src python -m pytest
 PY := PYTHONPATH=src python
 
-.PHONY: install install-dev install-service test bench bench-smoke bench-scale bench-trace-scale bench-service bench-check lint typecheck coverage serve check ci examples reproduce trace chaos clean
+.PHONY: install install-dev install-service test bench bench-smoke bench-scale bench-trace-scale bench-service bench-service-recovery bench-check lint typecheck coverage serve check ci examples reproduce trace chaos chaos-service clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -47,6 +47,13 @@ bench-trace-scale:
 # is gated by check_bench_regression.py --max-service-p99-ms.
 bench-service:
 	$(PYTEST) benchmarks/bench_service_load.py --benchmark-only
+
+# Write-ahead journaling overhead and 100-session crash-recovery timing
+# (writes benchmarks/out/BENCH_service_recovery.json); the journal-overhead
+# and restore-time ceilings are gated by check_bench_regression.py
+# --max-journal-overhead / --max-restore-ms.
+bench-service-recovery:
+	$(PYTEST) benchmarks/bench_service_recovery.py --benchmark-only
 
 # Diff the freshly written BENCH_*.json against the committed baselines
 # (deterministic quantities must match; speedups must stay >= 5x).
@@ -100,6 +107,12 @@ trace:
 # docs/robustness.md). Exits nonzero if any run fails its guarantees.
 chaos:
 	$(PY) -m repro chaos --seed 0 --n 30
+
+# Service-level chaos: live `repro serve` processes killed / damaged /
+# evicted / gated, with recovery verified bit-identical against never-killed
+# twins (see docs/robustness.md; requires the service extra: pydantic).
+chaos-service:
+	$(PY) -m repro chaos --service --seed 0 --n 6 --jobs 6
 
 clean:
 	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache .hypothesis

@@ -25,7 +25,13 @@ This script compares the two:
   verification of million-event traces; the service's mixed-load
   ``service_p99_ms`` must stay at or below ``--max-service-p99-ms``
   (99th-percentile request latency through the in-process ASGI stack,
-  bench_service_load);
+  bench_service_load); the durable service's ``journal_overhead`` (p99
+  of a journaled service over its unjournaled twin, paired mixed load,
+  bench_service_recovery) must stay at or below
+  ``--max-journal-overhead`` (1.10 — write-ahead durability may cost at
+  most 10% at the tail) and its ``restore_100_sessions_ms`` (cold
+  crash-recovery of 100 journaled sessions) at or below
+  ``--max-restore-ms``;
 * quantities present on only one side are reported (new benchmarks are fine;
   silently vanished ones are not).
 
@@ -73,6 +79,15 @@ TIMING_KEYS = frozenset(
         "p50_ms",
         "p99_ms",
         "mean_ms",
+        "journal_overhead",
+        "p50_plain_ms",
+        "p50_journal_ms",
+        "p99_plain_ms",
+        "p99_journal_ms",
+        "submit_p99_plain_ms",
+        "submit_p99_journal_ms",
+        "restore_100_sessions_ms",
+        "restore_per_session_ms",
     }
 )
 #: The one timing-derived key that still carries an acceptance floor.
@@ -98,6 +113,12 @@ TRACE_PEAK_RATIO_KEY = "trace_peak_ratio"
 #: request latency through the in-process ASGI stack must stay under a
 #: committed ceiling.
 SERVICE_P99_KEY = "service_p99_ms"
+#: Durable-service gates (bench_service_recovery): the write-ahead journal
+#: may cost at most 10% at the paired mixed-load p99, and a cold restore of
+#: 100 journaled sessions must stay under the ceiling — recovery time is
+#: part of the availability budget.
+JOURNAL_OVERHEAD_KEY = "journal_overhead"
+RESTORE_MS_KEY = "restore_100_sessions_ms"
 DEFAULT_MIN_SPEEDUP = 5.0
 DEFAULT_MAX_OVERHEAD = 1.05
 DEFAULT_MIN_SHARD_SPEEDUP = 1.0
@@ -106,6 +127,8 @@ DEFAULT_MIN_SCALE_SPEEDUP = 20.0
 DEFAULT_MAX_TRACE_PEAK_MB = 8.0
 DEFAULT_MAX_TRACE_PEAK_RATIO = 2.0
 DEFAULT_MAX_SERVICE_P99_MS = 25.0
+DEFAULT_MAX_JOURNAL_OVERHEAD = 1.10
+DEFAULT_MAX_RESTORE_MS = 5000.0
 DEFAULT_TOLERANCE = 1e-6
 
 
@@ -259,6 +282,20 @@ def main(argv: list[str] | None = None) -> int:
         help="acceptance ceiling for 'service_p99_ms' (99th-percentile "
         "request latency of the in-process service load, bench_service_load)",
     )
+    parser.add_argument(
+        "--max-journal-overhead",
+        type=float,
+        default=DEFAULT_MAX_JOURNAL_OVERHEAD,
+        help="acceptance ceiling for 'journal_overhead' (journaled over "
+        "unjournaled mixed-load p99, bench_service_recovery)",
+    )
+    parser.add_argument(
+        "--max-restore-ms",
+        type=float,
+        default=DEFAULT_MAX_RESTORE_MS,
+        help="acceptance ceiling for 'restore_100_sessions_ms' (cold "
+        "crash-recovery of 100 journaled sessions, bench_service_recovery)",
+    )
     args = parser.parse_args(argv)
 
     fresh_files = sorted(args.fresh_dir.glob("BENCH_*.json"))
@@ -319,6 +356,20 @@ def main(argv: list[str] | None = None) -> int:
                 problems.append(
                     f"{path.name}: {spath} = {value:.2f} ms above the "
                     f"{args.max_service_p99_ms:g} ms service-latency ceiling"
+                )
+        for spath, value in collect_key(fresh, JOURNAL_OVERHEAD_KEY):
+            if value > args.max_journal_overhead:
+                problems.append(
+                    f"{path.name}: {spath} = {value:.3f} above the "
+                    f"{args.max_journal_overhead:g}x journaling-overhead "
+                    f"ceiling (write-ahead durability tax at the mixed p99)"
+                )
+        for spath, value in collect_key(fresh, RESTORE_MS_KEY):
+            if value > args.max_restore_ms:
+                problems.append(
+                    f"{path.name}: {spath} = {value:.1f} ms above the "
+                    f"{args.max_restore_ms:g} ms crash-recovery ceiling "
+                    f"(100-session cold restore)"
                 )
         baseline = load_baseline(path.name, args.baseline_dir, args.baseline_ref)
         if baseline is None:

@@ -202,6 +202,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="durable shard checkpoint directory (--shards); enables the "
         "checkpoint_corruption rotation",
     )
+    p_ch.add_argument(
+        "--service", action="store_true",
+        help="run the service chaos campaign instead: SIGKILL live servers "
+        "mid-workload, tear/corrupt journals, evict sessions, inject slow "
+        "handlers and connection drops — verify every recovery is "
+        "bit-identical and Lemma 3/4 replay from surviving traces",
+    )
 
     p_srv = sub.add_parser(
         "serve",
@@ -209,6 +216,52 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_srv.add_argument("--host", default="127.0.0.1", help="bind address")
     p_srv.add_argument("--port", type=int, default=8176, help="bind port")
+    p_srv.add_argument(
+        "--journal-dir", default=None, metavar="DIR",
+        help="write-ahead journal directory; enables crash recovery "
+        "(sessions restore bit-identical on restart)",
+    )
+    p_srv.add_argument(
+        "--journal-sink", default="plain", metavar="SPEC",
+        help="journal sink: plain | gzip | rotate:N",
+    )
+    p_srv.add_argument(
+        "--no-restore", action="store_true",
+        help="skip replaying existing journals on startup",
+    )
+    p_srv.add_argument(
+        "--max-sessions", type=int, default=None,
+        help="admission limit; a create beyond it answers 503 "
+        "(or evicts the LRU session with --evict-lru)",
+    )
+    p_srv.add_argument(
+        "--session-ttl", type=float, default=None, metavar="SECONDS",
+        help="evict sessions idle longer than this (410 afterwards)",
+    )
+    p_srv.add_argument(
+        "--evict-lru", action="store_true",
+        help="at --max-sessions, evict the least-recently-used session "
+        "instead of answering 503",
+    )
+    p_srv.add_argument(
+        "--campaign-retention", type=int, default=None, metavar="N",
+        help="keep at most N finished campaigns; pruned ids answer 410 "
+        "with the final status summarized",
+    )
+    p_srv.add_argument(
+        "--request-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-request deadline; a handler still running at the deadline "
+        "is cancelled and the client sees 504",
+    )
+    p_srv.add_argument(
+        "--create-rate", type=float, default=None, metavar="PER_SECOND",
+        help="per-client session-create rate limit (token bucket; "
+        "429 + Retry-After when exceeded)",
+    )
+    p_srv.add_argument(
+        "--create-burst", type=int, default=8,
+        help="token-bucket burst capacity for --create-rate",
+    )
 
     p_sh = sub.add_parser(
         "shard",
@@ -370,6 +423,21 @@ def _cmd_chaos(args: argparse.Namespace) -> tuple[str, int]:
         run_shard_campaign,
     )
 
+    if args.service:
+        from .runtime.chaos import format_service_campaign, run_service_campaign
+
+        service_report = run_service_campaign(
+            args.seed,
+            args.n,
+            jobs=args.jobs,
+            alpha=args.alpha,
+            out=args.out,
+            sink_spec=args.sink,
+        )
+        text = format_service_campaign(service_report)
+        if args.out:
+            text += f"\n\ntraces written to {args.out}"
+        return text, 0 if service_report.ok else 1
     if args.shards:
         shard_report = run_shard_campaign(
             args.seed,
@@ -406,25 +474,59 @@ def _cmd_chaos(args: argparse.Namespace) -> tuple[str, int]:
 
 def _cmd_serve(args: argparse.Namespace) -> str:
     import asyncio
+    import signal
 
     try:
         from .service import create_app, serve
+        from .service.sessions import SessionManager
     except ImportError as exc:  # pydantic is the service extra
         raise SystemExit(
             f"repro serve needs the service extra (pip install 'repro[service]'): {exc}"
         ) from exc
 
-    app = create_app()
+    manager = SessionManager(
+        journal_dir=args.journal_dir,
+        journal_sink=args.journal_sink,
+        max_sessions=args.max_sessions,
+        session_ttl=args.session_ttl,
+        evict_lru=args.evict_lru,
+        campaign_retention=args.campaign_retention,
+        create_rate=args.create_rate,
+        create_burst=args.create_burst,
+    )
+    app = create_app(manager, request_timeout=args.request_timeout)
     print(
         f"serving scheduling API on http://{args.host}:{args.port} "
-        "(POST /sessions, GET /health; Ctrl-C to stop)",
+        "(POST /sessions, GET /health; SIGTERM/Ctrl-C to stop)",
         flush=True,
     )
+
+    async def _main() -> None:
+        if args.journal_dir and not args.no_restore:
+            report = await manager.restore()
+            print(
+                f"restored {len(report.restored)} session(s) from "
+                f"{args.journal_dir} ({len(report.closed)} closed, "
+                f"{len(report.evicted)} evicted, "
+                f"{len(report.skipped)} quarantined)",
+                flush=True,
+            )
+        trigger = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, trigger.set)
+            except (NotImplementedError, RuntimeError):
+                # Platforms without signal handlers fall back to Ctrl-C's
+                # KeyboardInterrupt; serve() still flushes on cancellation.
+                pass
+        await serve(app, args.host, args.port, shutdown_trigger=trigger)
+
     try:
-        asyncio.run(serve(app, args.host, args.port))
+        asyncio.run(_main())
     except KeyboardInterrupt:
         pass
-    return "server stopped; session trace sinks flushed"
+    return "server stopped; session trace sinks and journals flushed"
 
 
 def _cmd_shard(args: argparse.Namespace) -> tuple[str, int]:

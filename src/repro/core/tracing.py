@@ -159,6 +159,7 @@ EVENT_KINDS = frozenset(
         "run_timeout",
         "arrival",
         "session_close",
+        "session_evicted",
     }
 )
 

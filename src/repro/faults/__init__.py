@@ -12,11 +12,19 @@ from .injector import (
     FlakyPowerFunction,
     simulate_nc_par_with_failure,
 )
-from .plan import FAULT_KINDS, PROCESS_KINDS, FaultPlan, FaultSpec, generate_plan
+from .plan import (
+    FAULT_KINDS,
+    PROCESS_KINDS,
+    SERVICE_KINDS,
+    FaultPlan,
+    FaultSpec,
+    generate_plan,
+)
 
 __all__ = [
     "FAULT_KINDS",
     "PROCESS_KINDS",
+    "SERVICE_KINDS",
     "FaultPlan",
     "FaultSpec",
     "generate_plan",

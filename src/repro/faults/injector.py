@@ -256,6 +256,75 @@ class FaultInjector:
 
         return FlakyPowerFunction(power.alpha, on_speed)
 
+    # -- channel: session journal ---------------------------------------------
+
+    def journal_filter(self):
+        """A line filter for :class:`~repro.service.journal.SessionJournal`.
+
+        Counts journal appends; on the scheduled append it either tears the
+        write (``torn_journal_write`` — a ``magnitude``-fraction prefix of
+        the line reaches the sink, then :class:`JournalWriteAborted` models
+        the crash; the session fails closed and recovers through
+        ``SessionManager.restore``, which drops the torn tail) or flips a
+        body character post-checksum (``journal_corruption`` — detected as
+        interior corruption on the next read and quarantined).  Budgets are
+        shared with every other channel.
+        """
+        from ..service.journal import JournalWriteAborted, corrupt_line
+
+        calls = {"n": 0}
+
+        def line_filter(seq: int, line: str) -> str:
+            calls["n"] += 1
+            for index, spec in self._armed("torn_journal_write"):
+                if calls["n"] < max(spec.after_calls, 1):
+                    continue
+                self._fire(index, spec, self._sim_time, seq=seq)
+                cut = max(1, int(len(line) * min(max(spec.magnitude, 0.05), 0.95)))
+                raise JournalWriteAborted(line[:cut])
+            for index, spec in self._armed("journal_corruption"):
+                if calls["n"] < max(spec.after_calls, 1):
+                    continue
+                self._fire(index, spec, self._sim_time, seq=seq)
+                return corrupt_line(line)
+            return line
+
+        return line_filter
+
+    # -- channel: HTTP request gate -------------------------------------------
+
+    def service_gate(self):
+        """An async request gate for :class:`~repro.service.asgi.App`.
+
+        Counts gated requests; on the scheduled one it either stalls the
+        handler for ``magnitude`` seconds (``slow_handler`` — with a request
+        deadline configured, the caller sees 504 and the handler is
+        cancelled cleanly) or aborts the connection mid-response
+        (``connection_drop`` — the socket server tears the response off).
+        """
+        import asyncio
+
+        from ..service.asgi import ConnectionAborted
+
+        calls = {"n": 0}
+
+        async def gate(request: object) -> None:
+            calls["n"] += 1
+            for index, spec in self._armed("slow_handler"):
+                if calls["n"] < max(spec.after_calls, 1):
+                    continue
+                self._fire(index, spec, self._sim_time, call=calls["n"])
+                await asyncio.sleep(spec.magnitude)
+            for index, spec in self._armed("connection_drop"):
+                if calls["n"] < max(spec.after_calls, 1):
+                    continue
+                self._fire(index, spec, self._sim_time, call=calls["n"])
+                raise ConnectionAborted(
+                    f"connection dropped mid-response (injected, {spec.describe()})"
+                )
+
+        return gate
+
     # -- channel: engine steps ------------------------------------------------
 
     def _intercept_step(self, t: float, job_id: int, processed: float) -> float:

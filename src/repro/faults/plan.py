@@ -17,7 +17,16 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 
-__all__ = ["FAULT_KINDS", "FaultSpec", "FaultPlan", "generate_plan"]
+__all__ = [
+    "FAULT_KINDS",
+    "INSTANCE_KINDS",
+    "PROCESS_KINDS",
+    "TRANSIENT_KINDS",
+    "SERVICE_KINDS",
+    "FaultSpec",
+    "FaultPlan",
+    "generate_plan",
+]
 
 #: The closed set of fault kinds the injectors understand.
 #:
@@ -45,6 +54,22 @@ __all__ = ["FAULT_KINDS", "FaultSpec", "FaultPlan", "generate_plan"]
 #: ``checkpoint_corruption`` — a durable per-shard checkpoint's bytes are
 #:                         corrupted on write; the store's checksum must
 #:                         reject it on load and recompute the shard.
+#: ``torn_journal_write`` — a session journal append crashes mid-line: a
+#:                         prefix of the record reaches disk, the process
+#:                         dies, and the batch is never acknowledged.
+#:                         Recovery must drop the tear and restore exactly
+#:                         the acked prefix.
+#: ``journal_corruption`` — a journal line's body is flipped *after* its
+#:                         checksum was taken; recovery must detect the
+#:                         mismatch and quarantine the journal instead of
+#:                         restoring a silently wrong session.
+#: ``slow_handler``      — an HTTP handler stalls for ``magnitude`` seconds
+#:                         before running, exercising the per-request
+#:                         deadline (504 with a cleanly cancelled handler).
+#: ``connection_drop``   — the server drops the connection mid-response on
+#:                         the ``after_calls``-th gated request; the client
+#:                         must see a torn response, never a half-committed
+#:                         session.
 FAULT_KINDS = frozenset(
     {
         "oracle_lie",
@@ -58,6 +83,10 @@ FAULT_KINDS = frozenset(
         "worker_kill",
         "shard_hang",
         "checkpoint_corruption",
+        "torn_journal_write",
+        "journal_corruption",
+        "slow_handler",
+        "connection_drop",
     }
 )
 
@@ -75,6 +104,17 @@ PROCESS_KINDS = frozenset({"worker_kill", "shard_hang", "checkpoint_corruption"}
 #: — the faults a retry can survive without any plan change.
 TRANSIENT_KINDS = frozenset(
     {"oracle_lie", "power_transient", "power_nan", "step_corruption", "release_drop"}
+)
+
+#: HTTP-service kinds, realised outside the simulators by the service layer:
+#: the session journal interprets ``torn_journal_write`` /
+#: ``journal_corruption`` (via :meth:`FaultInjector.journal_filter`) and the
+#: ASGI request gate interprets ``slow_handler`` / ``connection_drop`` (via
+#: :meth:`FaultInjector.service_gate`).  All spend the shared injector
+#: budget, so a service fault that fired once stays quiet on the retried
+#: request — the transient-fault model at the HTTP boundary.
+SERVICE_KINDS = frozenset(
+    {"torn_journal_write", "journal_corruption", "slow_handler", "connection_drop"}
 )
 
 
@@ -199,6 +239,10 @@ def generate_plan(
         elif kind in ("worker_kill", "shard_hang", "checkpoint_corruption"):
             # Target shard / dispatch ordinal: kept small so the fault lands
             # even on shard plans of only a few shards.
+            after_calls = rng.randrange(1, 4)
+        elif kind in SERVICE_KINDS:
+            # Target journal append / gated request ordinal: small, so the
+            # fault lands early in even a short session.
             after_calls = rng.randrange(1, 4)
         else:
             after_calls = 0

@@ -30,7 +30,15 @@ Lemma 3 / Lemma 4 still replay from the surviving trace at ``1e-9``.
 
 from __future__ import annotations
 
+import json
+import os
+import shutil
+import socket
+import subprocess
+import sys
+import tempfile
 import threading
+import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Iterable, Iterator
@@ -57,9 +65,13 @@ __all__ = [
     "CampaignReport",
     "ShardRunOutcome",
     "ShardCampaignReport",
+    "ServiceRunOutcome",
+    "ServiceCampaignReport",
     "run_pair_verified",
     "run_campaign",
     "run_shard_campaign",
+    "run_service_campaign",
+    "format_service_campaign",
     "iter_campaign_runs",
     "RunVerification",
     "verify_campaign_trace",
@@ -788,5 +800,631 @@ def format_shard_campaign(report: ShardCampaignReport) -> str:
         if report.ok
         else "SHARD CAMPAIGN FAILED: a run failed, diverged from serial, or "
         "broke dispatch identity / lemma replay"
+    )
+    return "\n".join(lines)
+
+
+# -- the service chaos campaign -----------------------------------------------
+
+
+#: Scenario rotation of the service campaign (index ``i % len``): two live
+#: SIGKILL-and-restart scenarios bracketing a torn journal tail, an interior
+#: journal corruption, an LRU eviction cycle, and the two HTTP-level faults.
+_SERVICE_ROTATION = (
+    "kill_restart",
+    "torn_tail",
+    "corruption",
+    "evict",
+    "slow_handler",
+    "connection_drop",
+)
+
+#: The query endpoints whose response bodies define a session's fingerprint;
+#: bit-identity is exact byte equality across all of them.
+_FINGERPRINT_PATHS = ("/speeds", "/schedule", "/metrics", "/report")
+
+
+@dataclass(frozen=True)
+class ServiceRunOutcome:
+    """One service chaos run's verdict.
+
+    ``bit_identical`` is exact byte equality of the recovered session's
+    speeds/schedule/metrics/verified-report bodies with a never-faulted
+    twin's (None when the scenario has no twin, e.g. a quarantined
+    corruption); ``lemmas_ok`` is the Lemma 3/4 replay served by
+    ``GET /report`` on the surviving session.
+    """
+
+    run_id: int
+    scenario: str
+    seed: int
+    status: str  # "clean" | "recovered" | "failed"
+    faults_fired: int
+    bit_identical: bool | None
+    lemmas_ok: bool | None
+    restored: int
+    quarantined: int
+    error: str | None
+    n_events: int
+
+
+@dataclass(frozen=True)
+class ServiceCampaignReport:
+    seed: int
+    n_runs: int
+    outcomes: tuple[ServiceRunOutcome, ...]
+
+    @property
+    def n_failed(self) -> int:
+        return sum(1 for o in self.outcomes if o.status == "failed")
+
+    @property
+    def ok(self) -> bool:
+        """Every scenario recovered, every recovered session is bit-identical
+        to its uninterrupted twin, and every lemma replay passed — the
+        acceptance contract of the durable service layer."""
+        return all(
+            o.status in ("clean", "recovered")
+            and o.bit_identical is not False
+            and o.lemmas_ok is not False
+            for o in self.outcomes
+        )
+
+
+def _free_port() -> int:
+    with socket.socket() as s:
+        s.bind(("127.0.0.1", 0))
+        return s.getsockname()[1]
+
+
+def _http(
+    port: int,
+    method: str,
+    path: str,
+    body: dict | None = None,
+    *,
+    timeout: float = 10.0,
+) -> tuple[int, bytes]:
+    """One HTTP exchange against localhost; returns ``(status, body_bytes)``."""
+    import http.client
+
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=timeout)
+    try:
+        payload = json.dumps(body).encode() if body is not None else None
+        headers = {"content-type": "application/json"} if payload else {}
+        conn.request(method, path, body=payload, headers=headers)
+        resp = conn.getresponse()
+        return resp.status, resp.read()
+    finally:
+        conn.close()
+
+
+def _spawn_server(
+    port: int,
+    journal_dir: str | Path,
+    *,
+    extra: tuple[str, ...] = (),
+    timeout: float = 30.0,
+) -> subprocess.Popen:
+    """Start a real ``repro serve`` subprocess and wait until it is healthy."""
+    import repro
+
+    env = dict(os.environ)
+    src = str(Path(repro.__file__).resolve().parents[1])
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    cmd = [
+        sys.executable, "-m", "repro", "serve",
+        "--host", "127.0.0.1", "--port", str(port),
+        "--journal-dir", str(journal_dir), *extra,
+    ]
+    proc = subprocess.Popen(
+        cmd, env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL
+    )
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            raise RuntimeError(
+                f"server on port {port} exited with {proc.returncode} before healthy"
+            )
+        try:
+            status, _ = _http(port, "GET", "/health", timeout=1.0)
+            if status == 200:
+                return proc
+        except OSError:
+            pass
+        time.sleep(0.05)
+    proc.kill()
+    proc.wait()
+    raise RuntimeError(f"server on port {port} not healthy within {timeout:.0f}s")
+
+
+def _stop_server(proc: subprocess.Popen | None) -> None:
+    if proc is None or proc.poll() is not None:
+        return
+    proc.terminate()
+    try:
+        proc.wait(timeout=10.0)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+        proc.wait()
+
+
+def _service_batches(jobs: int, derived_seed: int) -> list[list[dict]]:
+    """The deterministic arrival batches of one scenario (unit density, so
+    the verified-report lemma replay is servable)."""
+    instance = random_instance(jobs, derived_seed, density="unit")
+    ordered = sorted(instance, key=lambda j: (j.release, j.job_id))
+    return [
+        [
+            {"id": j.job_id, "release": j.release, "volume": j.volume,
+             "density": j.density}
+            for j in ordered[i : i + 2]
+        ]
+        for i in range(0, len(ordered), 2)
+    ]
+
+
+def _expect(status: int, want: int, what: str, body: bytes = b"") -> None:
+    if status != want:
+        detail = body[:200].decode(errors="replace")
+        raise RuntimeError(f"{what}: expected {want}, got {status} ({detail})")
+
+
+def _fingerprint(port: int, session_id: str) -> dict[str, tuple[int, bytes]]:
+    return {
+        path: _http(port, "GET", f"/sessions/{session_id}{path}")
+        for path in _FINGERPRINT_PATHS
+    }
+
+
+def _lemmas_from_report(fingerprint: dict[str, tuple[int, bytes]]) -> bool:
+    status, body = fingerprint["/report"]
+    if status != 200:
+        return False
+    return bool(json.loads(body).get("ok"))
+
+
+def _restore_counts(port: int) -> tuple[int, int]:
+    """(restored, quarantined) from the freshly-restarted server's health."""
+    status, body = _http(port, "GET", "/health")
+    _expect(status, 200, "health after restart", body)
+    restore = json.loads(body).get("restore") or {}
+    return int(restore.get("restored", 0)), int(restore.get("quarantined", 0))
+
+
+def _submit(port: int, session_id: str, batch: list[dict]) -> None:
+    status, body = _http(
+        port, "POST", f"/sessions/{session_id}/jobs", {"jobs": batch}
+    )
+    _expect(status, 202, f"submit to {session_id!r}", body)
+
+
+def _create_session(
+    port: int, session_id: str, alpha: float, *, expect: int = 201
+) -> None:
+    status, body = _http(
+        port, "POST", "/sessions",
+        {"session_id": session_id, "alpha": alpha, "algorithm": "NC"},
+    )
+    _expect(status, expect, f"create {session_id!r}", body)
+
+
+def _run_one_service(
+    run_id: int,
+    scenario: str,
+    derived_seed: int,
+    *,
+    jobs: int,
+    alpha: float,
+) -> tuple[ServiceRunOutcome, list[TraceEvent]]:
+    recorder = MemoryRecorder()
+    recorder.emit(
+        "run_meta", 0.0, "chaos",
+        run_id=run_id, scenario=scenario, seed=derived_seed,
+        alpha=alpha, jobs=jobs,
+    )
+    faults_fired = 0
+    bit_identical: bool | None = None
+    lemmas_ok: bool | None = None
+    restored = 0
+    quarantined = 0
+    status = "failed"
+    error: str | None = None
+    tmp = tempfile.mkdtemp(prefix="repro-service-chaos-")
+    try:
+        if scenario in ("kill_restart", "torn_tail", "corruption"):
+            result = _scenario_kill(
+                scenario, derived_seed, Path(tmp), recorder,
+                jobs=jobs, alpha=alpha,
+            )
+        elif scenario == "evict":
+            result = _scenario_evict(derived_seed, Path(tmp), recorder, jobs=jobs, alpha=alpha)
+        else:  # slow_handler | connection_drop
+            result = _scenario_gate(
+                scenario, derived_seed, recorder, jobs=jobs, alpha=alpha
+            )
+        faults_fired, bit_identical, lemmas_ok, restored, quarantined = result
+        status = "recovered" if faults_fired else "clean"
+        recorder.emit(
+            "recovery", 0.0, "service.chaos",
+            scenario=scenario, restored=restored, quarantined=quarantined,
+        )
+    except Exception as err:  # noqa: BLE001 — every breakage is a failed run
+        error = f"{type(err).__name__}: {err}"
+        status = "failed"
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+    outcome = ServiceRunOutcome(
+        run_id=run_id,
+        scenario=scenario,
+        seed=derived_seed,
+        status=status,
+        faults_fired=faults_fired,
+        bit_identical=bit_identical,
+        lemmas_ok=lemmas_ok,
+        restored=restored,
+        quarantined=quarantined,
+        error=error,
+        n_events=len(recorder.events),
+    )
+    return outcome, recorder.events
+
+
+def _scenario_kill(
+    scenario: str,
+    derived_seed: int,
+    tmp: Path,
+    recorder: MemoryRecorder,
+    *,
+    jobs: int,
+    alpha: float,
+) -> tuple[int, bool | None, bool | None, int, int]:
+    """SIGKILL a live journaled server mid-workload, optionally damage the
+    journal post-mortem, restart, and differentially compare against a twin.
+
+    ``kill_restart`` — plain crash: the restarted server must serve the
+    committed prefix bit-identically, then absorb the rest of the workload
+    exactly like a server that never died.
+
+    ``torn_tail`` — the crash additionally tears the journal's final line
+    (a write that never completed, hence never acked): restore must drop
+    exactly that line and recover the committed prefix.
+
+    ``corruption`` — an *interior* journal line is damaged: restore must
+    quarantine the session (404 + health ``quarantined``), never silently
+    restore a wrong session.
+    """
+    from ..service.journal import journal_path
+
+    live_dir, twin_dir = tmp / "live", tmp / "twin"
+    batches = _service_batches(jobs, derived_seed)
+    half = max(1, len(batches) // 2)
+    faults = 1
+    proc = twin = None
+    try:
+        port = _free_port()
+        proc = _spawn_server(port, live_dir)
+        _create_session(port, "chaos", alpha)
+        for batch in batches[:half]:
+            _submit(port, "chaos", batch)
+        proc.kill()  # SIGKILL: no flush, no shutdown hooks — a real crash
+        proc.wait()
+        proc = None
+        recorder.emit(
+            "fault_injected", 0.0, "service.chaos",
+            fault="server_sigkill", scenario=scenario, committed_batches=half,
+        )
+
+        jpath = journal_path(live_dir, "chaos")
+        if scenario == "torn_tail":
+            with open(jpath, "a", encoding="utf-8") as fh:
+                fh.write('{"body": "{\\"record\\": \\"arrival_batch')  # torn
+            recorder.emit(
+                "fault_injected", 0.0, "service.chaos",
+                fault="torn_journal_write", scenario=scenario,
+            )
+            faults += 1
+        elif scenario == "corruption":
+            lines = jpath.read_text(encoding="utf-8").splitlines()
+            from ..service.journal import corrupt_line
+
+            lines[0] = corrupt_line(lines[0])  # interior: more lines follow
+            jpath.write_text("\n".join(lines) + "\n", encoding="utf-8")
+            recorder.emit(
+                "fault_injected", 0.0, "service.chaos",
+                fault="journal_corruption", scenario=scenario,
+            )
+            faults += 1
+
+        port2 = _free_port()
+        proc = _spawn_server(port2, live_dir)
+        restored, quarantined = _restore_counts(port2)
+
+        if scenario == "corruption":
+            if restored != 0 or quarantined != 1:
+                raise RuntimeError(
+                    f"corrupt journal not quarantined: restored={restored}, "
+                    f"quarantined={quarantined}"
+                )
+            status, body = _http(port2, "GET", "/sessions/chaos")
+            _expect(status, 404, "quarantined session lookup", body)
+            return faults, None, None, restored, quarantined
+
+        if restored != 1:
+            raise RuntimeError(f"expected 1 restored session, got {restored}")
+        # kill_restart absorbs the rest of the workload after recovery; the
+        # torn-tail run stops at the committed prefix (the torn batch was
+        # never acked, so the client's replay would resubmit it — here the
+        # twin simply never sends it).
+        tail = batches[half:] if scenario == "kill_restart" else []
+        for batch in tail:
+            _submit(port2, "chaos", batch)
+
+        twin_port = _free_port()
+        twin = _spawn_server(twin_port, twin_dir)
+        _create_session(twin_port, "chaos", alpha)
+        for batch in batches[:half] + tail:
+            _submit(twin_port, "chaos", batch)
+
+        live_fp = _fingerprint(port2, "chaos")
+        twin_fp = _fingerprint(twin_port, "chaos")
+        return (
+            faults,
+            live_fp == twin_fp,
+            _lemmas_from_report(live_fp),
+            restored,
+            quarantined,
+        )
+    finally:
+        _stop_server(proc)
+        _stop_server(twin)
+
+
+def _scenario_evict(
+    derived_seed: int,
+    tmp: Path,
+    recorder: MemoryRecorder,
+    *,
+    jobs: int,
+    alpha: float,
+) -> tuple[int, bool | None, bool | None, int, int]:
+    """Drive an LRU eviction on a bounded live store, then SIGKILL/restart:
+    the evicted id's 410 tombstone must survive the crash (journaled
+    ``session_evicted``), and the surviving session must restore to the
+    exact pre-crash fingerprint."""
+    live_dir = tmp / "live"
+    batches = _service_batches(jobs, derived_seed)
+    extra = ("--max-sessions", "1", "--evict-lru")
+    proc = None
+    try:
+        port = _free_port()
+        proc = _spawn_server(port, live_dir, extra=extra)
+        _create_session(port, "victim", alpha)
+        _submit(port, "victim", batches[0])
+        _create_session(port, "survivor", alpha)  # store full -> evicts victim
+        recorder.emit(
+            "fault_injected", 0.0, "service.chaos",
+            fault="lru_eviction", evicted="victim",
+        )
+        status, body = _http(port, "GET", "/sessions/victim")
+        _expect(status, 410, "evicted session lookup", body)
+        for batch in batches:
+            _submit(port, "survivor", batch)
+        before = _fingerprint(port, "survivor")
+
+        proc.kill()
+        proc.wait()
+        proc = None
+        recorder.emit(
+            "fault_injected", 0.0, "service.chaos", fault="server_sigkill",
+        )
+
+        port2 = _free_port()
+        proc = _spawn_server(port2, live_dir, extra=extra)
+        restored, quarantined = _restore_counts(port2)
+        if restored != 1:
+            raise RuntimeError(f"expected 1 restored session, got {restored}")
+        status, body = _http(port2, "GET", "/sessions/victim")
+        _expect(status, 410, "evicted tombstone after restart", body)
+        after = _fingerprint(port2, "survivor")
+        return 2, before == after, _lemmas_from_report(after), restored, quarantined
+    finally:
+        _stop_server(proc)
+
+
+def _scenario_gate(
+    scenario: str,
+    derived_seed: int,
+    recorder: MemoryRecorder,
+    *,
+    jobs: int,
+    alpha: float,
+) -> tuple[int, bool | None, bool | None, int, int]:
+    """Inject an HTTP-level fault (stalled handler past its deadline, or a
+    connection dropped mid-response) into an in-thread live socket server,
+    then verify the faulted request left no partial state: the retried
+    workload ends bit-identical to a twin that never saw the fault."""
+    import asyncio
+
+    from ..service.app import create_app
+    from ..service.asgi import serve
+    from ..service.sessions import SessionManager
+    from ..faults.injector import FaultInjector
+    from ..faults.plan import FaultPlan, FaultSpec
+
+    plan = FaultPlan(
+        seed=derived_seed,
+        faults=(FaultSpec(kind=scenario, after_calls=2, magnitude=0.75),),
+    )
+    context = SimulationContext(PowerLaw(alpha), recorder=recorder)
+    injector = FaultInjector(plan, context)
+    batches = _service_batches(jobs, derived_seed)
+
+    def _threaded(app) -> tuple[threading.Thread, Any, Any]:
+        started = threading.Event()
+        box: dict[str, Any] = {}
+
+        def run() -> None:
+            async def main() -> None:
+                ready = asyncio.Event()
+                trigger = asyncio.Event()
+                box["loop"] = asyncio.get_running_loop()
+                box["trigger"] = trigger
+                task = asyncio.ensure_future(
+                    serve(
+                        app, "127.0.0.1", box["port"],
+                        ready=ready, shutdown_trigger=trigger, drain_timeout=2.0,
+                    )
+                )
+                await ready.wait()
+                started.set()
+                await task
+
+            asyncio.run(main())
+
+        box["port"] = _free_port()
+        thread = threading.Thread(target=run, daemon=True, name=f"svc-{scenario}")
+        thread.start()
+        if not started.wait(10.0):
+            raise RuntimeError(f"{scenario} server thread not ready")
+        return thread, box["loop"], box
+
+    def _stop(thread: threading.Thread, loop, box) -> None:
+        loop.call_soon_threadsafe(box["trigger"].set)
+        thread.join(10.0)
+
+    # Faulted server: a tight request deadline turns the stalled handler
+    # into a clean 504 (slow_handler); the gate's ConnectionAborted tears
+    # the response off mid-status-line (connection_drop).
+    app = create_app(SessionManager(), request_timeout=0.25)
+    app.gates.append(injector.service_gate())
+    thread, loop, box = _threaded(app)
+    try:
+        port = box["port"]
+        _create_session(port, "chaos", alpha)  # gated call 1: clean
+        status: int | None = None
+        try:
+            status, _ = _http(
+                port, "POST", "/sessions/chaos/jobs", {"jobs": batches[0]},
+                timeout=5.0,
+            )
+        except (OSError, Exception) as err:  # noqa: BLE001 — torn response
+            if scenario != "connection_drop":
+                raise
+            recorder.emit(
+                "retry", 0.0, "service.chaos",
+                reason=f"torn response: {type(err).__name__}",
+            )
+        if scenario == "slow_handler":
+            _expect(status or 0, 504, "deadline on stalled handler")
+        elif status is not None and status != 202:
+            raise RuntimeError(
+                f"connection_drop produced a whole {status} response"
+            )
+        if not injector.fired:
+            raise RuntimeError(f"{scenario} fault never fired")
+        # Budget spent: the identical retry and the rest of the workload
+        # must commit cleanly, exactly once each.
+        for batch in batches:
+            _submit(port, "chaos", batch)
+        live_fp = _fingerprint(port, "chaos")
+    finally:
+        _stop(thread, loop, box)
+
+    twin_app = create_app(SessionManager(), request_timeout=0.25)
+    twin_thread, twin_loop, twin_box = _threaded(twin_app)
+    try:
+        twin_port = twin_box["port"]
+        _create_session(twin_port, "chaos", alpha)
+        for batch in batches:
+            _submit(twin_port, "chaos", batch)
+        twin_fp = _fingerprint(twin_port, "chaos")
+    finally:
+        _stop(twin_thread, twin_loop, twin_box)
+
+    return (
+        len(injector.fired),
+        live_fp == twin_fp,
+        _lemmas_from_report(live_fp),
+        0,
+        0,
+    )
+
+
+def run_service_campaign(
+    seed: int,
+    n_runs: int,
+    *,
+    jobs: int = 6,
+    alpha: float = 3.0,
+    out: str | Path | None = None,
+    sink_spec: str = "plain",
+) -> ServiceCampaignReport:
+    """Run ``n_runs`` seeded scenarios against live scheduling services.
+
+    Rotates through :data:`_SERVICE_ROTATION`: real ``repro serve``
+    subprocesses are SIGKILLed mid-workload (plain, with a torn journal
+    tail, and with interior journal corruption), a bounded store is driven
+    through an LRU eviction cycle, and in-thread socket servers absorb
+    injected slow handlers and connection drops.  Every recovery is
+    verified **differentially**: the surviving session's speeds, schedule,
+    metrics, and verified Lemma 3/4 report must be byte-identical to a twin
+    service that never saw the fault.  The campaign's trace (``out``)
+    partitions per run exactly like the other campaigns'.
+    """
+    outcomes: list[ServiceRunOutcome] = []
+    sink = make_sink(out, sink_spec) if out is not None else None
+    try:
+        for i in range(n_runs):
+            derived = seed * 1_000_003 + i
+            scenario = _SERVICE_ROTATION[i % len(_SERVICE_ROTATION)]
+            outcome, events = _run_one_service(
+                i, scenario, derived, jobs=jobs, alpha=alpha
+            )
+            outcomes.append(outcome)
+            if sink is not None:
+                header = {
+                    "run_id": outcome.run_id,
+                    "family": f"SERVICE_{scenario.upper()}",
+                    "seed": outcome.seed,
+                    "plan": scenario,
+                    "status": outcome.status,
+                }
+                _write_run(sink, header, events)
+                sink.flush()
+    finally:
+        if sink is not None:
+            sink.close()
+    return ServiceCampaignReport(seed=seed, n_runs=n_runs, outcomes=tuple(outcomes))
+
+
+def format_service_campaign(report: ServiceCampaignReport) -> str:
+    survived = report.n_runs - report.n_failed
+    lines = [
+        f"service chaos campaign: seed={report.seed}, {report.n_runs} runs — "
+        f"{survived} survived, {report.n_failed} failed"
+    ]
+    lines.append("")
+    lines.append(
+        f"{'run':>4} {'scenario':<16} {'status':<10} {'faults':>6} "
+        f"{'bitid':>6} {'L3/4':>5} {'rest':>5} {'quar':>5}  detail"
+    )
+    for o in report.outcomes:
+        flag = lambda v: "-" if v is None else ("PASS" if v else "FAIL")  # noqa: E731
+        detail = o.error if o.error else f"seed={o.seed}"
+        lines.append(
+            f"{o.run_id:>4} {o.scenario:<16} {o.status:<10} {o.faults_fired:>6} "
+            f"{flag(o.bit_identical):>6} {flag(o.lemmas_ok):>5} "
+            f"{o.restored:>5} {o.quarantined:>5}  {detail}"
+        )
+    lines.append("")
+    lines.append(
+        "SERVICE CAMPAIGN OK: every crash/evict/drop recovered bit-identical "
+        "with lemma replays intact"
+        if report.ok
+        else "SERVICE CAMPAIGN FAILED: a scenario failed, diverged from its "
+        "twin, or broke a lemma replay"
     )
     return "\n".join(lines)

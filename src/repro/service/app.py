@@ -16,13 +16,19 @@ from .sessions import SessionManager
 __all__ = ["create_app"]
 
 
-def create_app(manager: SessionManager | None = None) -> App:
+def create_app(
+    manager: SessionManager | None = None,
+    *,
+    request_timeout: float | None = None,
+) -> App:
     """Build the service's ASGI application.
 
     Pass an explicit ``manager`` to share sessions across apps (tests); by
-    default each app owns a fresh one.
+    default each app owns a fresh one.  ``request_timeout`` bounds every
+    request: a handler still running at the deadline is cancelled cleanly
+    (locks released by ``async with``) and the client sees 504.
     """
-    app = App()
+    app = App(request_timeout=request_timeout)
     mgr = manager if manager is not None else SessionManager()
     app.state["manager"] = mgr
     register_routes(app, mgr)

@@ -33,6 +33,7 @@ from typing import Any, Awaitable, Callable
 from urllib.parse import parse_qsl, unquote
 
 __all__ = [
+    "ConnectionAborted",
     "HTTPError",
     "Request",
     "Response",
@@ -52,20 +53,41 @@ _STATUS_PHRASES = {
     404: "Not Found",
     405: "Method Not Allowed",
     409: "Conflict",
+    410: "Gone",
     422: "Unprocessable Entity",
     429: "Too Many Requests",
     500: "Internal Server Error",
     503: "Service Unavailable",
+    504: "Gateway Timeout",
 }
 
 
-class HTTPError(Exception):
-    """Abort the current handler with an HTTP status and a JSON detail."""
+class ConnectionAborted(Exception):
+    """Tear the connection down without completing the response.
 
-    def __init__(self, status: int, detail: str) -> None:
+    The escape hatch the ``connection_drop`` service fault uses: unlike
+    every other exception, :meth:`App.handle` re-raises it, the socket
+    server answers with a torn partial response and closes, and
+    :func:`asgi_call` propagates it to the in-process caller.  Session state
+    is untouched — the request never reached (or never finished) its
+    handler's commit point.
+    """
+
+
+class HTTPError(Exception):
+    """Abort the current handler with an HTTP status and a JSON detail.
+
+    ``headers`` ride onto the error response — how 429 carries
+    ``Retry-After``.
+    """
+
+    def __init__(
+        self, status: int, detail: str, *, headers: dict[str, str] | None = None
+    ) -> None:
         super().__init__(detail)
         self.status = status
         self.detail = detail
+        self.headers = headers
 
 
 @dataclass
@@ -110,9 +132,15 @@ class Request:
 class Response:
     """A JSON response.  ``payload`` may be a pydantic model, a dict/list, or
     ``None`` (empty body); models are serialized with ``model_dump_json`` so
-    floats keep their shortest-repr exact round-trip."""
+    floats keep their shortest-repr exact round-trip.  ``headers`` are extra
+    response headers (e.g. ``Retry-After`` on a 429)."""
 
-    def __init__(self, payload: Any = None, status: int = 200) -> None:
+    def __init__(
+        self,
+        payload: Any = None,
+        status: int = 200,
+        headers: dict[str, str] | None = None,
+    ) -> None:
         self.status = status
         if payload is None:
             self.body = b""
@@ -121,6 +149,7 @@ class Response:
         else:
             self.body = json.dumps(payload).encode("utf-8")
         self.content_type = "application/json"
+        self.headers = dict(headers) if headers else {}
 
 
 Handler = Callable[[Request], Awaitable[Response]]
@@ -137,13 +166,22 @@ class App:
     ``{name}`` segments bind into ``request.path_params``.  Handler errors map
     to JSON bodies: :class:`HTTPError` keeps its status, pydantic validation
     errors become 422, anything else a 500 with the exception text.
+
+    ``request_timeout`` is the per-request deadline: a handler (plus the
+    ``gates``) exceeding it is **cancelled cleanly** — ``asyncio.wait_for``
+    cancels the handler task, its ``async with lock`` blocks unwind — and
+    the client gets 504.  ``gates`` are awaited before every matched handler
+    inside the same deadline; the service fault injector installs its
+    ``slow_handler`` / ``connection_drop`` channels there.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, *, request_timeout: float | None = None) -> None:
         self._routes: list[tuple[str, tuple[str, ...], Handler]] = []
         self.on_startup: list[Callable[[], Awaitable[None]]] = []
         self.on_shutdown: list[Callable[[], Awaitable[None]]] = []
         self.state: dict[str, Any] = {}
+        self.request_timeout = request_timeout
+        self.gates: list[Callable[[Request], Awaitable[None]]] = []
 
     def route(self, method: str, path: str) -> Callable[[Handler], Handler]:
         def register(handler: Handler) -> Handler:
@@ -187,9 +225,28 @@ class App:
         try:
             handler, params = self._match(request.method, request.path)
             request.path_params = params
-            return await handler(request)
+
+            async def _invoke() -> Response:
+                for gate in self.gates:
+                    await gate(request)
+                return await handler(request)
+
+            if self.request_timeout is not None:
+                try:
+                    return await asyncio.wait_for(_invoke(), self.request_timeout)
+                except asyncio.TimeoutError:
+                    return Response(
+                        {
+                            "detail": f"request exceeded the "
+                            f"{self.request_timeout:g}s deadline; handler cancelled"
+                        },
+                        status=504,
+                    )
+            return await _invoke()
+        except ConnectionAborted:
+            raise  # the server layer tears the connection down
         except HTTPError as exc:
-            return Response({"detail": exc.detail}, status=exc.status)
+            return Response({"detail": exc.detail}, status=exc.status, headers=exc.headers)
         except Exception as exc:  # noqa: BLE001 — the service must not crash
             if type(exc).__name__ == "ValidationError" and hasattr(exc, "errors"):
                 detail = "; ".join(
@@ -232,14 +289,19 @@ class App:
                 body=body,
             )
             response = await self.handle(request)
+            headers = [
+                (b"content-type", response.content_type.encode("latin-1")),
+                (b"content-length", str(len(response.body)).encode("latin-1")),
+            ]
+            headers.extend(
+                (k.lower().encode("latin-1"), v.encode("latin-1"))
+                for k, v in response.headers.items()
+            )
             await send(
                 {
                     "type": "http.response.start",
                     "status": response.status,
-                    "headers": [
-                        (b"content-type", response.content_type.encode("latin-1")),
-                        (b"content-length", str(len(response.body)).encode("latin-1")),
-                    ],
+                    "headers": headers,
                 }
             )
             await send({"type": "http.response.body", "body": response.body})
@@ -269,11 +331,18 @@ async def asgi_call(
     *,
     json_body: Any = None,
     query: str = "",
+    headers: dict[str, str] | None = None,
 ) -> ClientResponse:
     """Run one request through ``app`` without sockets (the ASGI messages are
     exchanged in-process).  This is the hot path of the load benchmark, so it
     allocates as little as the protocol allows."""
     body = b"" if json_body is None else json.dumps(json_body).encode("utf-8")
+    raw_headers = [(b"content-type", b"application/json")]
+    if headers:
+        raw_headers.extend(
+            (k.lower().encode("latin-1"), v.encode("latin-1"))
+            for k, v in headers.items()
+        )
     scope = {
         "type": "http",
         "asgi": {"version": "3.0"},
@@ -282,7 +351,7 @@ async def asgi_call(
         "path": path,
         "raw_path": path.encode("latin-1"),
         "query_string": query.encode("latin-1"),
-        "headers": [(b"content-type", b"application/json")],
+        "headers": raw_headers,
     }
     received = False
 
@@ -344,17 +413,32 @@ class TestClient:
         self._loop.close()
 
     def request(
-        self, method: str, path: str, *, json_body: Any = None, query: str = ""
+        self,
+        method: str,
+        path: str,
+        *,
+        json_body: Any = None,
+        query: str = "",
+        headers: dict[str, str] | None = None,
     ) -> ClientResponse:
         return self._loop.run_until_complete(
-            asgi_call(self.app, method, path, json_body=json_body, query=query)
+            asgi_call(
+                self.app, method, path, json_body=json_body, query=query, headers=headers
+            )
         )
 
     def get(self, path: str, *, query: str = "") -> ClientResponse:
         return self.request("GET", path, query=query)
 
-    def post(self, path: str, *, json_body: Any = None, query: str = "") -> ClientResponse:
-        return self.request("POST", path, json_body=json_body, query=query)
+    def post(
+        self,
+        path: str,
+        *,
+        json_body: Any = None,
+        query: str = "",
+        headers: dict[str, str] | None = None,
+    ) -> ClientResponse:
+        return self.request("POST", path, json_body=json_body, query=query, headers=headers)
 
     def delete(self, path: str) -> ClientResponse:
         return self.request("DELETE", path)
@@ -430,7 +514,13 @@ async def _handle_connection(
                 if not message.get("more_body", False):
                     await writer.drain()
 
-        await app(scope, receive, send)
+        try:
+            await app(scope, receive, send)
+        except ConnectionAborted:
+            # The connection_drop fault: tear the response off mid-status-line
+            # so the client sees a truncated response, then close abruptly.
+            writer.write(b"HTTP/1.1 ")
+            await writer.drain()
     except (asyncio.IncompleteReadError, ConnectionResetError):  # pragma: no cover
         pass
     finally:
@@ -448,19 +538,36 @@ async def serve(
     *,
     ready: asyncio.Event | None = None,
     shutdown_trigger: asyncio.Event | None = None,
+    drain_timeout: float = 5.0,
 ) -> None:
     """Serve ``app`` over a plain asyncio socket server until cancelled.
 
     Runs the app's startup hooks first and its shutdown hooks on the way out
-    (including cancellation), so per-session trace sinks are flushed whenever
-    the server stops.  ``ready`` is set once the socket is listening;
-    ``shutdown_trigger`` — when given — stops the server cleanly when set
-    (tests use it instead of task cancellation).
+    (including cancellation), so per-session trace sinks and journals are
+    flushed whenever the server stops.  ``ready`` is set once the socket is
+    listening; ``shutdown_trigger`` — when given — stops the server cleanly
+    when set (``repro serve`` wires SIGTERM/SIGINT to it; tests use it
+    instead of task cancellation).
+
+    Orderly stop drains: once the trigger fires, the listener closes (no new
+    connections) and every in-flight request gets up to ``drain_timeout``
+    seconds to finish before the app's shutdown hooks run — an in-progress
+    ``submit`` commits (or fails) completely, never half-journaled.
     """
     await app.startup()
-    server = await asyncio.start_server(
-        lambda r, w: _handle_connection(app, r, w), host, port
-    )
+    connections: set[asyncio.Task] = set()
+
+    async def _connection(r: asyncio.StreamReader, w: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            connections.add(task)
+        try:
+            await _handle_connection(app, r, w)
+        finally:
+            if task is not None:
+                connections.discard(task)
+
+    server = await asyncio.start_server(_connection, host, port)
     try:
         if ready is not None:
             ready.set()
@@ -470,4 +577,10 @@ async def serve(
             else:
                 await shutdown_trigger.wait()
     finally:
+        server.close()
+        pending = {t for t in connections if not t.done()}
+        if pending:
+            _done, still_running = await asyncio.wait(pending, timeout=drain_timeout)
+            for task in still_running:
+                task.cancel()
         await app.shutdown()

@@ -11,12 +11,23 @@ unknown session / campaign id             404
 duplicate id, closed session,             409
 out-of-order release, empty session,
 non-uniform verified report
+evicted session, pruned campaign          410
 arrival batch would overflow the queue    429
+session-create rate limit exceeded        429 (+ Retry-After)
 pydantic validation failure               422
+session store at admission limit          503
+request exceeded its deadline             504
 ========================================  ======
+
+404 vs 410 is a real distinction for clients: 404 means the id was never
+here (typo, wrong server), 410 means it *was* here and is durably gone
+(evicted, or a campaign pruned past retention) — retrying will never help,
+recreate instead.
 """
 
 from __future__ import annotations
+
+import math
 
 from ..analysis.gantt import gantt_chart
 from ..core.errors import InvalidInstanceError, SimulationError
@@ -41,7 +52,17 @@ from .models import (
     SpeedsResponse,
     VerifiedReportResponse,
 )
-from .sessions import Backpressure, Campaign, Session, SessionClosed, SessionManager
+from .sessions import (
+    Backpressure,
+    Campaign,
+    CampaignPruned,
+    RateLimited,
+    Session,
+    SessionClosed,
+    SessionGone,
+    SessionManager,
+    StoreFull,
+)
 
 __all__ = ["register_routes"]
 
@@ -84,6 +105,8 @@ def register_routes(app: App, manager: SessionManager) -> None:
         sid = request.path_params["session_id"]
         try:
             return manager.get_session(sid)
+        except SessionGone as exc:
+            raise HTTPError(410, str(exc)) from exc
         except KeyError as exc:
             raise HTTPError(404, str(exc)) from exc
 
@@ -91,13 +114,22 @@ def register_routes(app: App, manager: SessionManager) -> None:
 
     @app.route("GET", "/health")
     async def health(request: Request) -> Response:
-        return Response(
-            {
-                "status": "ok",
-                "sessions": len(manager.sessions),
-                "campaigns": len(manager.campaigns),
+        await manager.sweep()
+        payload: dict[str, object] = {
+            "status": "ok",
+            "sessions": len(manager.sessions),
+            "campaigns": len(manager.campaigns),
+            "evicted": len(manager.evicted),
+            "pruned_campaigns": len(manager.pruned_campaigns),
+        }
+        if manager.last_restore is not None:
+            payload["restore"] = {
+                "restored": len(manager.last_restore.restored),
+                "closed": len(manager.last_restore.closed),
+                "evicted": len(manager.last_restore.evicted),
+                "quarantined": len(manager.last_restore.skipped),
             }
-        )
+        return Response(payload)
 
     @app.route("GET", "/algorithms")
     async def algorithms(request: Request) -> Response:
@@ -113,8 +145,17 @@ def register_routes(app: App, manager: SessionManager) -> None:
     @app.route("POST", "/sessions")
     async def create_session(request: Request) -> Response:
         spec = SessionCreateRequest.model_validate(request.json())
+        client_key = request.headers.get("x-client-key", "anonymous")
         try:
-            session = await manager.create_session(spec)
+            session = await manager.create_session(spec, client_key=client_key)
+        except RateLimited as exc:
+            raise HTTPError(
+                429,
+                str(exc),
+                headers={"retry-after": str(max(1, math.ceil(exc.retry_after)))},
+            ) from exc
+        except StoreFull as exc:
+            raise HTTPError(503, str(exc)) from exc
         except KeyError as exc:
             raise HTTPError(409, str(exc)) from exc
         except (SimulationError, InvalidInstanceError) as exc:
@@ -140,6 +181,8 @@ def register_routes(app: App, manager: SessionManager) -> None:
         sid = request.path_params["session_id"]
         try:
             session = await manager.delete_session(sid)
+        except SessionGone as exc:
+            raise HTTPError(410, str(exc)) from exc
         except KeyError as exc:
             raise HTTPError(404, str(exc)) from exc
         return Response(_session_info(session))
@@ -281,6 +324,8 @@ def register_routes(app: App, manager: SessionManager) -> None:
     async def campaign_status(request: Request) -> Response:
         try:
             campaign = manager.get_campaign(request.path_params["campaign_id"])
+        except CampaignPruned as exc:
+            return Response({"detail": str(exc), "final": exc.summary}, status=410)
         except KeyError as exc:
             raise HTTPError(404, str(exc)) from exc
         return Response(_campaign_status(campaign))
